@@ -1,0 +1,114 @@
+"""Ablations of JANUS's design choices (DESIGN.md section 3).
+
+The paper asserts several design decisions without isolating them; these
+benchmarks measure each:
+
+* **encoding side** — solve the same LM instance with the primal
+  encoding, the dual encoding, and the paper's pick-the-cheaper rule;
+* **degree constraints** — the third encoding step on vs off;
+* **row facts** — the 1-entry path facts on vs off;
+* **bounds** — dichotomic search starting from the old (DP/PS/DPS)
+  versus the new (IPS/IDPS/DS) upper bounds: the paper credits the new
+  bounds with a 42.8% smaller search space;
+* **exactly-one encoding** — pairwise (the paper's) vs sequential vs
+  commander on a representative LM instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.instances import build_instance
+from repro.core import EncodeOptions, JanusOptions, encode_lm, synthesize
+from repro.sat import solve_cnf
+
+INSTANCE = "misex1_01"  # 6 inputs, 5 products, degree 4
+SHAPE = (3, 5)  # the paper's published JANUS solution shape for it
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_instance(INSTANCE)
+
+
+@pytest.mark.parametrize("side", ["primal", "dual"])
+def bench_ablation_encoding_side(benchmark, spec, side):
+    def run():
+        enc = encode_lm(spec, *SHAPE, side=side)
+        result = solve_cnf(enc.cnf, max_conflicts=100_000)
+        return enc, result
+
+    enc, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        status=result.status,
+        vars=enc.cnf.num_vars,
+        clauses=enc.cnf.num_clauses,
+        complexity=enc.complexity,
+        conflicts=result.stats.conflicts,
+    )
+
+
+@pytest.mark.parametrize("flag", [True, False], ids=["on", "off"])
+def bench_ablation_degree_constraints(benchmark, spec, flag):
+    def run():
+        enc = encode_lm(
+            spec, *SHAPE, side="primal",
+            options=EncodeOptions(degree_constraints=flag),
+        )
+        return enc, solve_cnf(enc.cnf, max_conflicts=100_000)
+
+    enc, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        status=result.status, clauses=enc.cnf.num_clauses,
+        conflicts=result.stats.conflicts,
+    )
+
+
+@pytest.mark.parametrize("flag", [True, False], ids=["on", "off"])
+def bench_ablation_row_facts(benchmark, spec, flag):
+    def run():
+        enc = encode_lm(
+            spec, *SHAPE, side="primal", options=EncodeOptions(row_facts=flag)
+        )
+        return enc, solve_cnf(enc.cnf, max_conflicts=100_000)
+
+    enc, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        status=result.status, clauses=enc.cnf.num_clauses,
+        conflicts=result.stats.conflicts,
+    )
+
+
+@pytest.mark.parametrize(
+    "methods",
+    [("dp", "ps", "dps"), ("dp", "ps", "dps", "ips", "idps", "ds")],
+    ids=["old-bounds", "new-bounds"],
+)
+def bench_ablation_bounds_search_space(benchmark, spec, options, methods):
+    opts = replace(options, ub_methods=methods)
+    result = benchmark.pedantic(
+        synthesize, args=(spec,), kwargs={"options": opts}, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        initial_ub=result.initial_upper_bound,
+        lm_probes=len(result.attempts),
+        size=result.size,
+    )
+    assert result.size <= result.initial_upper_bound
+
+
+@pytest.mark.parametrize("method", ["pairwise", "sequential", "commander"])
+def bench_ablation_exactly_one(benchmark, spec, method):
+    def run():
+        enc = encode_lm(
+            spec, *SHAPE, side="primal", options=EncodeOptions(eo_method=method)
+        )
+        return enc, solve_cnf(enc.cnf, max_conflicts=100_000)
+
+    enc, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        status=result.status, vars=enc.cnf.num_vars,
+        clauses=enc.cnf.num_clauses,
+    )

@@ -1,0 +1,63 @@
+"""Fig. 4: the six upper-bound constructions on the worked example.
+
+The paper reports DP 6x4, PS 3x7, DPS 11x4, IPS 3x5, IDPS 8x4, DS 3x5, a
+lower bound of 12 and a 3x4 optimum.  Every benchmark asserts its
+published shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import (
+    FIG4_FUNCTION,
+    FIG4_PAPER_BOUNDS,
+    FIG4_PAPER_LB,
+)
+from repro.core import (
+    TargetSpec,
+    structural_lower_bound,
+    synthesize,
+    ub_ds,
+)
+from repro.core.bounds import UB_METHODS
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return TargetSpec.from_string(FIG4_FUNCTION, name="fig4")
+
+
+@pytest.mark.parametrize("method", ["dp", "ps", "dps", "ips", "idps"])
+def bench_fig4_bound(benchmark, spec, method):
+    result = benchmark.pedantic(
+        UB_METHODS[method], args=(spec,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["shape"] = f"{result.rows}x{result.cols}"
+    assert (result.rows, result.cols) == FIG4_PAPER_BOUNDS[method]
+    assert result.assignment.realizes(spec.tt)
+
+
+def bench_fig4_ds_bound(benchmark, spec, options):
+    result = benchmark.pedantic(
+        ub_ds, args=(spec, options), rounds=1, iterations=1
+    )
+    benchmark.extra_info["shape"] = f"{result.rows}x{result.cols}"
+    assert (result.rows, result.cols) == FIG4_PAPER_BOUNDS["ds"]
+
+
+def bench_fig4_lower_bound(benchmark, spec):
+    lb = benchmark.pedantic(
+        structural_lower_bound, args=(spec,), rounds=1, iterations=1
+    )
+    assert lb == FIG4_PAPER_LB
+
+
+def bench_fig4_janus_optimum(benchmark, spec, options):
+    result = benchmark.pedantic(
+        synthesize, args=(spec,), kwargs={"options": options}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["shape"] = result.shape
+    benchmark.extra_info["initial_ub"] = result.initial_upper_bound
+    assert result.size == 12
+    assert result.initial_upper_bound == 15

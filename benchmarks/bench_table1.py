@@ -1,0 +1,49 @@
+"""Table I: number of products of the m x n lattice function and its dual.
+
+Each benchmark enumerates the irredundant paths of one lattice shape and
+asserts exact agreement with the published counts.  The fast profile stops
+at 6x6 (the 7x7/7x8/8x8 entries enumerate millions of paths and belong to
+the full profile).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lattice.count import PAPER_TABLE1
+
+_FULL = os.environ.get("REPRO_BENCH_PROFILE") == "full"
+_MAX = 8 if _FULL else 6
+
+SHAPES = [
+    (m, n)
+    for m in range(2, _MAX + 1)
+    for n in range(2, _MAX + 1)
+]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"{s[0]}x{s[1]}")
+def bench_table1_products(benchmark, shape):
+    m, n = shape
+
+    def run():
+        # Bypass the lru caches so the benchmark measures enumeration.
+        from repro.lattice.grid import Grid
+        from repro.lattice.paths import (
+            iter_left_right_paths8,
+            iter_top_bottom_paths,
+        )
+
+        grid = Grid(m, n)
+        products = sum(1 for _ in iter_top_bottom_paths(grid))
+        duals = sum(1 for _ in iter_left_right_paths8(grid))
+        return products, duals
+
+    got = benchmark.pedantic(run, rounds=1, iterations=1)
+    want = PAPER_TABLE1[(m, n)]
+    benchmark.extra_info["products"] = got[0]
+    benchmark.extra_info["dual_products"] = got[1]
+    benchmark.extra_info["paper"] = want
+    assert got == want, f"{m}x{n}: got {got}, paper says {want}"

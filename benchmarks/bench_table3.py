@@ -1,0 +1,61 @@
+"""Table III: multiple functions on a single lattice.
+
+Compares the straight-forward merge (part 1 of Section III-C) against
+JANUS-MF (part 2, row shrinking) on the paper's three benchmarks.  squar5
+is rebuilt exactly from arithmetic; misex1 and bw use the reconstructed
+instance suite.  The asserted shape claim: JANUS-MF never exceeds the
+straight-forward merge (the paper reports gains up to 32%).
+
+bw's 28 outputs make it the slow one; it runs in medium/full profiles.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.instances import PAPER_TABLE3, build_multi_instance
+from repro.core.multi import merge_straightforward, synthesize_multi
+
+_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "fast")
+# misex1's 6/7-input outputs and bw's 28 outputs take minutes each in pure
+# Python, so the fast profile sticks to the exactly-reconstructed squar5.
+_NAMES = {
+    "fast": ["squar5"],
+    "medium": ["squar5", "misex1"],
+    "full": ["squar5", "misex1", "bw"],
+}[_PROFILE]
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def bench_table3_straightforward(benchmark, name, options):
+    specs = list(build_multi_instance(name))
+    result = benchmark.pedantic(
+        merge_straightforward, args=(specs, options), rounds=1, iterations=1
+    )
+    paper = PAPER_TABLE3[name]
+    benchmark.extra_info.update(
+        shape=result.shape, size=result.size,
+        paper_sol=paper["sf_sol"], paper_size=paper["sf_size"],
+    )
+    assert result.verify()
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def bench_table3_janus_mf(benchmark, name, options):
+    specs = list(build_multi_instance(name))
+    sf = merge_straightforward(specs, options)
+    result = benchmark.pedantic(
+        synthesize_multi, args=(specs,), kwargs={"options": options},
+        rounds=1, iterations=1,
+    )
+    paper = PAPER_TABLE3[name]
+    gain = 100 * (1 - result.size / sf.size)
+    benchmark.extra_info.update(
+        shape=result.shape, size=result.size, sf_size=sf.size,
+        gain_percent=round(gain, 1),
+        paper_sol=paper["mf_sol"], paper_size=paper["mf_size"],
+    )
+    assert result.verify()
+    assert result.size <= sf.size

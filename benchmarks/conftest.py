@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to the ``fast`` profile (instances with at most 7
+inputs, modest SAT budgets).  Set ``REPRO_BENCH_PROFILE=medium`` or
+``full`` to widen coverage — ``full`` runs all 48 Table II instances and
+can take hours in pure Python, mirroring the authors' 6-hour budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import default_options, profile_names
+
+
+def pytest_report_header(config):
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "fast")
+    return f"repro bench profile: {profile} ({len(profile_names(profile))} Table II instances)"
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "fast")
+
+
+@pytest.fixture(scope="session")
+def options(profile):
+    return default_options(profile)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a seconds-scale benchmark exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Tour of the ROBDD engine on lattice functions.
+
+Lattice functions blow up fast (Table I: the 8x8 lattice function has
+797,048 products), which is exactly the regime BDDs were invented for.
+This example:
+
+1. builds the 4x4 lattice function both as an SOP (path enumeration) and
+   as a BDD, and checks they agree;
+2. counts satisfying assignments (how many switch configurations make
+   the lattice conduct);
+3. extracts an irredundant SOP back out of the BDD with the
+   Minato-Morreale procedure;
+4. shows variable reordering: a function with an unfortunate input
+   order shrinks under sifting.
+
+Run:  python examples/bdd_tour.py
+"""
+
+from repro.bdd import Bdd, bdd_isop, sift
+from repro.lattice import Grid, lattice_function
+
+
+def main() -> None:
+    grid = Grid(4, 4)
+    sop = lattice_function(grid.rows, grid.cols)
+    print(f"f_4x4 as an SOP: {sop.num_products} products, "
+          f"{sop.num_literals} literals")
+
+    mgr = Bdd(grid.size)
+    node = mgr.from_sop(sop)
+    print(f"f_4x4 as a BDD : {mgr.dag_size(node)} nodes")
+
+    tt = sop.to_truthtable()
+    assert mgr.to_truthtable(node) == tt, "representations disagree!"
+
+    conducting = mgr.satcount(node)
+    print(f"\nconducting switch configurations: {conducting} / {1 << grid.size}"
+          f"  ({100 * conducting / (1 << grid.size):.1f}%)")
+
+    _, cubes = bdd_isop(mgr, node, node)
+    print(f"Minato-Morreale ISOP from the BDD: {len(cubes)} cubes "
+          f"(path enumeration found {sop.num_products})")
+
+    # Reordering demo: interleaved AND pairs with a bad order.
+    print("\nsifting demo: f = a0*b0 + a1*b1 + a2*b2 + a3*b3")
+    bad = Bdd(8, var_order=[0, 1, 2, 3, 4, 5, 6, 7])
+    f = bad.disjoin(bad.and_(bad.var(i), bad.var(i + 4)) for i in range(4))
+    print(f"  order a0 a1 a2 a3 b0 b1 b2 b3: {bad.dag_size(f)} nodes")
+    better, (g,) = sift(bad, [f])
+    order = ", ".join(f"x{v}" for v in better.var_order)
+    print(f"  after sifting ({order}): {better.dag_size(g)} nodes")
+    assert better.to_truthtable(g) == bad.to_truthtable(f)
+    print("  functions verified equal")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — JANUS: SAT-based approximate logic synthesis on switching lattices.
+
+A from-scratch reproduction of Aksoy & Altun, *"A Satisfiability-Based
+Approximate Algorithm for Logic Synthesis Using Switching Lattices"*
+(DATE 2019), including every substrate the paper relies on: a CDCL SAT
+solver, a two-level logic minimizer, the switching-lattice path machinery,
+the LM-to-SAT encoder, the bound constructions, the JANUS dichotomic
+search, JANUS-MF for multi-output functions, and the baseline algorithms
+the paper compares against.
+
+Quickstart::
+
+    import repro
+
+    result = repro.synthesize("ab + a'b'c")
+    print(result.shape)                      # e.g. "3x3"
+    print(result.assignment.to_text())       # the switch assignment grid
+"""
+
+from repro.boolf import Cube, Sop, TruthTable, isop, minimize, parse_sop
+from repro.core import (
+    EncodeOptions,
+    JanusOptions,
+    MultiFunctionResult,
+    SynthesisResult,
+    TargetSpec,
+    approx_restricted,
+    decompose_pcircuit,
+    exact_search,
+    heuristic_candidates,
+    make_spec,
+    solve_lm,
+    synthesize,
+    synthesize_multi,
+)
+from repro.lattice import CONST0, CONST1, Entry, Grid, LatticeAssignment
+from repro.sat import CdclSolver, Cnf, SolveResult, solve_cnf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cube",
+    "Sop",
+    "TruthTable",
+    "isop",
+    "minimize",
+    "parse_sop",
+    "TargetSpec",
+    "JanusOptions",
+    "EncodeOptions",
+    "SynthesisResult",
+    "MultiFunctionResult",
+    "synthesize",
+    "synthesize_multi",
+    "solve_lm",
+    "make_spec",
+    "exact_search",
+    "approx_restricted",
+    "heuristic_candidates",
+    "decompose_pcircuit",
+    "Grid",
+    "LatticeAssignment",
+    "Entry",
+    "CONST0",
+    "CONST1",
+    "CdclSolver",
+    "Cnf",
+    "SolveResult",
+    "solve_cnf",
+    "__version__",
+]

@@ -1,0 +1,218 @@
+"""BLIF (Berkeley Logic Interchange Format) reading and writing.
+
+The LGSynth91 suite the paper benchmarks against ships as PLAs and BLIF
+netlists; :mod:`repro.boolf.pla` covers the former, this module the
+latter.  A BLIF model is parsed into an :class:`~repro.aig.graph.Aig`:
+each ``.names`` node's single-output cover becomes an OR of ANDs over
+its fanins.  Writing serializes an AIG's output cones with one
+``.names`` per AND node — the canonical structural-BLIF style ABC uses.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(on-set and off-set covers, ``-`` don't-cares, constant nodes), ``.end``
+and ``#`` comments, with line continuation via ``\\``.  Latches and
+subcircuits are out of scope (the benchmark netlists are combinational).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from repro.errors import DimensionError
+from repro.aig.graph import Aig, AigLit
+
+__all__ = ["BlifModel", "read_blif", "write_blif"]
+
+
+class BlifModel:
+    """A parsed combinational BLIF model bound to an AIG."""
+
+    def __init__(
+        self,
+        name: str,
+        aig: Aig,
+        input_names: list[str],
+        outputs: dict[str, AigLit],
+    ) -> None:
+        self.name = name
+        self.aig = aig
+        self.input_names = input_names
+        self.outputs = outputs
+
+    def output_lit(self, name: str) -> AigLit:
+        if name not in self.outputs:
+            raise DimensionError(
+                f"unknown output {name!r}; known: {sorted(self.outputs)}"
+            )
+        return self.outputs[name]
+
+    def output_truthtable(self, name: str):
+        return self.aig.to_truthtable(self.output_lit(name))
+
+    def __repr__(self) -> str:
+        return (
+            f"BlifModel({self.name!r}, inputs={len(self.input_names)}, "
+            f"outputs={len(self.outputs)}, ands={self.aig.num_ands()})"
+        )
+
+
+def _logical_lines(stream: TextIO) -> list[list[str]]:
+    """Tokenized lines with continuations joined and comments stripped."""
+    out: list[list[str]] = []
+    pending = ""
+    for raw in stream:
+        line = raw.split("#", 1)[0].rstrip("\n")
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        tokens = line.split()
+        if tokens:
+            out.append(tokens)
+    if pending.strip():
+        out.append(pending.split())
+    return out
+
+
+def read_blif(stream: TextIO) -> BlifModel:
+    """Parse one combinational BLIF model into an AIG."""
+    lines = _logical_lines(stream)
+    model_name = "top"
+    input_names: list[str] = []
+    output_names: list[str] = []
+    # signal -> (fanin signal names, cover rows [(inputs, output_char)])
+    nodes: dict[str, tuple[list[str], list[tuple[str, str]]]] = {}
+
+    current: Optional[str] = None
+    for tokens in lines:
+        head = tokens[0]
+        if head == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else model_name
+            current = None
+        elif head == ".inputs":
+            input_names.extend(tokens[1:])
+            current = None
+        elif head == ".outputs":
+            output_names.extend(tokens[1:])
+            current = None
+        elif head == ".names":
+            if len(tokens) < 2:
+                raise DimensionError(".names needs at least an output")
+            *fanins, output = tokens[1:]
+            nodes[output] = (list(fanins), [])
+            current = output
+        elif head == ".end":
+            current = None
+        elif head.startswith("."):
+            raise DimensionError(f"unsupported BLIF construct {head!r}")
+        else:
+            if current is None:
+                raise DimensionError(f"cover row outside .names: {tokens}")
+            fanins, rows = nodes[current]
+            if fanins:
+                if len(tokens) != 2:
+                    raise DimensionError(f"bad cover row: {tokens}")
+                pattern, value = tokens
+                if len(pattern) != len(fanins):
+                    raise DimensionError(
+                        f"pattern {pattern!r} width != {len(fanins)} fanins"
+                    )
+            else:
+                pattern, value = "", tokens[0]
+            if value not in ("0", "1"):
+                raise DimensionError(f"bad output value {value!r}")
+            rows.append((pattern, value))
+
+    aig = Aig(len(input_names))
+    literals: dict[str, AigLit] = {
+        name: aig.input_lit(i) for i, name in enumerate(input_names)
+    }
+
+    def build(signal: str, trail: tuple[str, ...] = ()) -> AigLit:
+        got = literals.get(signal)
+        if got is not None:
+            return got
+        if signal in trail:
+            raise DimensionError(f"combinational cycle through {signal!r}")
+        if signal not in nodes:
+            raise DimensionError(f"undriven signal {signal!r}")
+        fanins, rows = nodes[signal]
+        fanin_lits = [build(f, trail + (signal,)) for f in fanins]
+        # Split rows by output polarity; BLIF requires a single polarity
+        # per node, but we accept either.
+        polarity = {value for _, value in rows} or {"1"}
+        if len(polarity) > 1:
+            raise DimensionError(f"mixed-polarity cover on {signal!r}")
+        products = []
+        for pattern, _ in rows:
+            term = aig.true
+            for ch, fanin_lit in zip(pattern, fanin_lits):
+                if ch == "1":
+                    term = aig.and_(term, fanin_lit)
+                elif ch == "0":
+                    term = aig.and_(term, fanin_lit ^ 1)
+                elif ch != "-":
+                    raise DimensionError(f"bad pattern character {ch!r}")
+            products.append(term)
+        lit = aig.disjoin(products) if rows else aig.false
+        if polarity == {"0"}:
+            lit ^= 1
+        literals[signal] = lit
+        return lit
+
+    outputs = {name: build(name) for name in output_names}
+    return BlifModel(model_name, aig, input_names, outputs)
+
+
+def write_blif(
+    model: BlifModel,
+    stream: TextIO,
+) -> None:
+    """Serialize the model structurally: one ``.names`` per AND node."""
+    aig = model.aig
+    stream.write(f".model {model.name}\n")
+    stream.write(".inputs " + " ".join(model.input_names) + "\n")
+    stream.write(".outputs " + " ".join(model.outputs) + "\n")
+
+    def signal(lit: AigLit) -> str:
+        node = lit >> 1
+        if node == 0:
+            base = "const0"
+        elif aig.is_input(node):
+            base = model.input_names[node - 1]
+        else:
+            base = f"n{node}"
+        return base
+
+    emitted: set[int] = set()
+    needs_const = False
+
+    def emit_cone(lit: AigLit) -> None:
+        nonlocal needs_const
+        for node in aig.cone(lit):
+            if node in emitted:
+                continue
+            emitted.add(node)
+            if node == 0:
+                needs_const = True
+            elif aig.is_and(node):
+                a, b = aig.fanins(node)
+                pa = "0" if a & 1 else "1"
+                pb = "0" if b & 1 else "1"
+                stream.write(
+                    f".names {signal(a)} {signal(b)} n{node}\n{pa}{pb} 1\n"
+                )
+
+    buffers: list[str] = []
+    for name, lit in model.outputs.items():
+        emit_cone(lit)
+        inverted = "0" if lit & 1 else "1"
+        src = signal(lit)
+        if lit >> 1 == 0:
+            needs_const = True
+        buffers.append(f".names {src} {name}\n{inverted} 1\n")
+    if needs_const:
+        stream.write(".names const0\n")  # empty cover = constant 0
+    for text in buffers:
+        stream.write(text)
+    stream.write(".end\n")

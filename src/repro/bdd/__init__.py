@@ -1,0 +1,23 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+The classic two-level-minimization literature (including the Minato-
+Morreale ISOP algorithm that `repro.boolf.isop` implements over dense
+tables) is formulated over BDDs.  This subpackage provides an honest ROBDD
+manager sized for the paper's workloads (functions of at most ~16 inputs):
+
+* :class:`Bdd` — manager with a unique table, hash-consed nodes, an ITE
+  computed cache, Boolean connectives, quantification, composition,
+  satisfying-assignment counting and conversions to/from the dense
+  :class:`~repro.boolf.truthtable.TruthTable` and
+  :class:`~repro.boolf.sop.Sop` representations.
+* :func:`bdd_isop` — Minato-Morreale irredundant SOP extraction over a
+  function interval, the BDD counterpart of
+  :func:`repro.boolf.isop.isop_interval`.
+* :func:`with_order` / :func:`sift` — rebuild-based variable reordering.
+"""
+
+from repro.bdd.manager import Bdd, BddFunction
+from repro.bdd.isop import bdd_isop
+from repro.bdd.reorder import sift, with_order
+
+__all__ = ["Bdd", "BddFunction", "bdd_isop", "sift", "with_order"]

@@ -1,0 +1,82 @@
+"""Variable reordering for :class:`~repro.bdd.manager.Bdd`.
+
+Reordering is implemented by *rebuilding* the functions of interest into a
+fresh manager with the requested order, rather than by in-place adjacent
+swaps.  For the at-most-16-input functions this library targets, a rebuild
+costs a single DFS per function and is far easier to validate; the greedy
+:func:`sift` search on top of it reproduces the effect of Rudell sifting
+(each variable is tried at every position, keeping the best) at laptop
+scale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bdd.manager import Bdd, ONE, ZERO
+
+__all__ = ["with_order", "sift"]
+
+
+def with_order(
+    mgr: Bdd, roots: Sequence[int], order: Sequence[int]
+) -> tuple[Bdd, list[int]]:
+    """Rebuild ``roots`` from ``mgr`` into a new manager using ``order``.
+
+    Returns ``(new_mgr, new_roots)``; functions are preserved exactly
+    (same truth tables, possibly very different DAG sizes).
+    """
+    new_mgr = Bdd(mgr.num_vars, names=mgr.names, var_order=order)
+    cache: dict[int, int] = {ZERO: ZERO, ONE: ONE}
+
+    def rebuild(u: int) -> int:
+        got = cache.get(u)
+        if got is not None:
+            return got
+        var = mgr.var_at(u)
+        lo = rebuild(mgr.lo(u))
+        hi = rebuild(mgr.hi(u))
+        # Shannon-expand on the *new* manager; ite places the variable at
+        # its new level regardless of where it sat in the old order.
+        out = new_mgr.ite(new_mgr.var(var), hi, lo)
+        cache[u] = out
+        return out
+
+    return new_mgr, [rebuild(r) for r in roots]
+
+
+def sift(
+    mgr: Bdd, roots: Sequence[int], max_rounds: int = 2
+) -> tuple[Bdd, list[int]]:
+    """Greedy sifting: move each variable to its best position.
+
+    Repeats up to ``max_rounds`` passes over all variables, or stops early
+    once a full pass yields no improvement.  Returns the rebuilt manager
+    and roots under the best order found.
+    """
+    best_order = list(mgr.var_order)
+    best_mgr, best_roots = with_order(mgr, roots, best_order)
+    best_size = best_mgr.dag_sizes(best_roots)
+
+    for _ in range(max_rounds):
+        improved = False
+        for var in range(mgr.num_vars):
+            pos = best_order.index(var)
+            trial_orders = []
+            for new_pos in range(mgr.num_vars):
+                if new_pos == pos:
+                    continue
+                order = list(best_order)
+                order.pop(pos)
+                order.insert(new_pos, var)
+                trial_orders.append(order)
+            for order in trial_orders:
+                trial_mgr, trial_roots = with_order(best_mgr, best_roots, order)
+                size = trial_mgr.dag_sizes(trial_roots)
+                if size < best_size:
+                    best_order = order
+                    best_mgr, best_roots, best_size = trial_mgr, trial_roots, size
+                    improved = True
+        if not improved:
+            break
+    return best_mgr, best_roots

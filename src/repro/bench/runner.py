@@ -1,0 +1,246 @@
+"""Experiment runner: executes algorithms on instances and collects rows.
+
+The runner mirrors the paper's reporting: for every instance it records
+the function signature (#in, #pi, degree), the initial bounds (lb, old ub
+from DP/PS/DPS, new ub including IPS/IDPS/DS) and, per algorithm, the
+solution shape, switch count and wall time.  Published values ride along
+so harnesses can print paper-vs-measured side by side.
+
+Profiles keep the default run laptop-sized:
+
+* ``fast``   — instances with at most 7 inputs (sub-second LM probes);
+* ``medium`` — everything up to 8 inputs;
+* ``full``   — all 48 instances (the 10/11-input ones are slow in pure
+  Python; expect long runtimes, as the authors did with 6-hour budgets).
+
+Select with ``REPRO_BENCH_PROFILE`` or the ``profile`` argument.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.baselines import (
+    approx_restricted,
+    decompose_pcircuit,
+    exact_search,
+    heuristic_candidates,
+)
+from repro.core.bounds import best_upper_bound
+from repro.core.decompose import ub_ds
+from repro.core.janus import JanusOptions, SynthesisResult, synthesize
+from repro.core.structural import structural_lower_bound
+from repro.core.target import TargetSpec
+from repro.bench.instances import PAPER_TABLE2, PaperRow, build_instance
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgoResult",
+    "BoundsReport",
+    "Table2Row",
+    "profile_names",
+    "compute_bounds_report",
+    "run_algorithm",
+    "run_table2_instance",
+    "run_table2",
+    "format_table2",
+    "default_options",
+]
+
+ALGORITHMS: dict[str, Callable] = {
+    "janus": synthesize,
+    "exact": exact_search,
+    "approx": approx_restricted,
+    "heuristic": heuristic_candidates,
+    "pcircuit": decompose_pcircuit,
+}
+
+_FAST_MAX_INPUTS = 7
+_MEDIUM_MAX_INPUTS = 8
+
+
+def profile_names(profile: Optional[str] = None) -> list[str]:
+    """Instance names included in a bench profile."""
+    profile = profile or os.environ.get("REPRO_BENCH_PROFILE", "fast")
+    if profile == "full":
+        return [row.name for row in PAPER_TABLE2]
+    if profile == "medium":
+        return [
+            row.name
+            for row in PAPER_TABLE2
+            if row.num_inputs <= _MEDIUM_MAX_INPUTS
+        ]
+    if profile == "fast":
+        return [
+            row.name
+            for row in PAPER_TABLE2
+            if row.num_inputs <= _FAST_MAX_INPUTS and row.num_products <= 7
+        ]
+    raise ValueError(f"unknown profile {profile!r} (fast|medium|full)")
+
+
+def default_options(profile: Optional[str] = None) -> JanusOptions:
+    """Solver budgets matched to the profile."""
+    profile = profile or os.environ.get("REPRO_BENCH_PROFILE", "fast")
+    if profile == "full":
+        return JanusOptions(max_conflicts=400_000, lm_time_limit=1200.0)
+    if profile == "medium":
+        return JanusOptions(max_conflicts=150_000, lm_time_limit=300.0)
+    return JanusOptions(max_conflicts=30_000, lm_time_limit=30.0)
+
+
+@dataclass
+class BoundsReport:
+    """Initial bounds for one instance (paper's lb / oub / nub columns)."""
+
+    lb: int
+    old_ub: int  # best of DP/PS/DPS
+    new_ub: int  # best including IPS/IDPS/DS
+    per_method: dict[str, tuple[int, int]]
+    wall_time: float
+
+
+@dataclass
+class AlgoResult:
+    """One algorithm's outcome on one instance."""
+
+    algorithm: str
+    shape: str
+    size: int
+    wall_time: float
+    provably_minimum: bool
+
+
+@dataclass
+class Table2Row:
+    """Everything reported for one instance of Table II."""
+
+    name: str
+    spec: TargetSpec
+    paper: PaperRow
+    bounds: BoundsReport
+    results: dict[str, AlgoResult] = field(default_factory=dict)
+
+    @property
+    def signature_exact(self) -> bool:
+        """False when the synthesizer only approximated the signature."""
+        return not self.spec.name.startswith("~")
+
+
+def compute_bounds_report(
+    spec: TargetSpec, options: Optional[JanusOptions] = None
+) -> BoundsReport:
+    """lb plus old (DP/PS/DPS) and new (+IPS/IDPS/DS) upper bounds."""
+    options = options or default_options()
+    start = time.monotonic()
+    lb = structural_lower_bound(spec)
+    _best_old, old_all = best_upper_bound(spec, ("dp", "ps", "dps"))
+    _best_new, new_all = best_upper_bound(spec, ("dp", "ps", "dps", "ips", "idps"))
+    per_method = {k: (v.rows, v.cols) for k, v in new_all.items()}
+    try:
+        ds = ub_ds(spec, options)
+        new_all["ds"] = ds
+        per_method["ds"] = (ds.rows, ds.cols)
+    except Exception:
+        pass
+    old_ub = min(v.size for k, v in old_all.items())
+    new_ub = min(v.size for v in new_all.values())
+    return BoundsReport(
+        lb=lb,
+        old_ub=old_ub,
+        new_ub=new_ub,
+        per_method=per_method,
+        wall_time=time.monotonic() - start,
+    )
+
+
+def run_algorithm(
+    algorithm: str, spec: TargetSpec, options: Optional[JanusOptions] = None
+) -> AlgoResult:
+    options = options or default_options()
+    fn = ALGORITHMS[algorithm]
+    result: SynthesisResult = fn(spec, options=options)
+    return AlgoResult(
+        algorithm=algorithm,
+        shape=result.shape,
+        size=result.size,
+        wall_time=result.wall_time,
+        provably_minimum=result.is_provably_minimum,
+    )
+
+
+def run_table2_instance(
+    name: str,
+    algorithms: Sequence[str] = ("janus",),
+    options: Optional[JanusOptions] = None,
+) -> Table2Row:
+    spec = build_instance(name)
+    row = Table2Row(
+        name=name,
+        spec=spec,
+        paper=next(r for r in PAPER_TABLE2 if r.name == name),
+        bounds=compute_bounds_report(spec, options),
+    )
+    for algorithm in algorithms:
+        row.results[algorithm] = run_algorithm(algorithm, spec, options)
+    return row
+
+
+def run_table2(
+    names: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = ("janus",),
+    options: Optional[JanusOptions] = None,
+    verbose: bool = False,
+) -> list[Table2Row]:
+    names = list(names) if names is not None else profile_names()
+    rows = []
+    for name in names:
+        row = run_table2_instance(name, algorithms, options)
+        rows.append(row)
+        if verbose:
+            print(format_table2([row], header=len(rows) == 1))
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row], header: bool = True) -> str:
+    """Render rows in the paper's Table II layout, paper values alongside."""
+    cols = [
+        "instance", "#in", "#pi", "d", "lb", "oub", "nub",
+        "nub(paper)", "janus", "janus(paper)", "size", "CPU",
+    ]
+    lines = []
+    fmt = (
+        "{:>11} {:>4} {:>4} {:>2} {:>4} {:>5} {:>5} {:>10} "
+        "{:>7} {:>12} {:>5} {:>8}"
+    )
+    if header:
+        lines.append(fmt.format(*cols))
+    for row in rows:
+        janus = row.results.get("janus")
+        lines.append(
+            fmt.format(
+                row.name + ("" if row.signature_exact else "~"),
+                row.spec.num_inputs,
+                row.spec.num_products,
+                row.spec.degree,
+                row.bounds.lb,
+                row.bounds.old_ub,
+                row.bounds.new_ub,
+                row.paper.nub,
+                janus.shape if janus else "-",
+                row.paper.sol_janus,
+                janus.size if janus else "-",
+                f"{janus.wall_time:.1f}" if janus else "-",
+            )
+        )
+        for algo, res in row.results.items():
+            if algo == "janus":
+                continue
+            lines.append(
+                f"{'':>11} {algo:>14}: {res.shape} size={res.size} "
+                f"CPU={res.wall_time:.1f}s"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Boolean-function substrate: cubes, covers, tables, minimization, I/O."""
+
+from repro.boolf.cube import Cube
+from repro.boolf.sop import Sop
+from repro.boolf.truthtable import TruthTable
+from repro.boolf.isop import isop, isop_interval
+from repro.boolf.primes import prime_implicants, is_prime
+from repro.boolf.minimize import minimize, exact_min_sop, espresso_lite
+from repro.boolf.espresso import espresso
+from repro.boolf.parse import parse_sop
+from repro.boolf.pla import PlaFile, read_pla, write_pla
+from repro.boolf.gf2 import (
+    dot,
+    in_span,
+    orthogonal_complement,
+    rank,
+    row_reduce,
+    span_members,
+)
+
+__all__ = [
+    "Cube",
+    "Sop",
+    "TruthTable",
+    "isop",
+    "isop_interval",
+    "prime_implicants",
+    "is_prime",
+    "minimize",
+    "exact_min_sop",
+    "espresso_lite",
+    "espresso",
+    "parse_sop",
+    "PlaFile",
+    "read_pla",
+    "write_pla",
+    "dot",
+    "row_reduce",
+    "rank",
+    "in_span",
+    "orthogonal_complement",
+    "span_members",
+]

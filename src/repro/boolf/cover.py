@@ -1,0 +1,203 @@
+"""Unate covering: pick a minimum subset of columns covering all rows.
+
+Used by the exact two-level minimizer (rows = onset minterms, columns =
+prime implicants) and exposed generically because set covering shows up in
+several of the paper's bound constructions.
+
+``min_cover`` runs essential-column extraction and row/column dominance to
+a fixed point, then branch-and-bound with a maximal-independent-set lower
+bound and a greedy incumbent.  ``greedy_cover`` is the cheap fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+__all__ = ["greedy_cover", "min_cover", "CoverBudget"]
+
+
+class CoverBudget:
+    """Node budget for branch-and-bound; ``exhausted`` reports overrun."""
+
+    def __init__(self, max_nodes: int = 200_000) -> None:
+        self.max_nodes = max_nodes
+        self.nodes = 0
+        self.exhausted = False
+
+    def tick(self) -> bool:
+        self.nodes += 1
+        if self.nodes > self.max_nodes:
+            self.exhausted = True
+        return not self.exhausted
+
+
+def greedy_cover(
+    columns: Mapping[Hashable, frozenset], rows: frozenset
+) -> list[Hashable]:
+    """Greedy set cover (largest marginal coverage first, deterministic)."""
+    remaining = set(rows)
+    chosen: list[Hashable] = []
+    items = sorted(columns.items(), key=lambda kv: _stable_key(kv[0]))
+    while remaining:
+        best = None
+        best_gain = -1
+        for key, cells in items:
+            gain = len(cells & remaining)
+            if gain > best_gain:
+                best, best_gain = key, gain
+        if best is None or best_gain == 0:
+            raise ValueError("rows cannot be covered by the given columns")
+        chosen.append(best)
+        remaining -= columns[best]
+    return chosen
+
+
+def min_cover(
+    columns: Mapping[Hashable, frozenset],
+    rows: frozenset,
+    budget: Optional[CoverBudget] = None,
+) -> list[Hashable]:
+    """Minimum-cardinality cover; optimal unless the budget runs out.
+
+    When the budget is exhausted the best incumbent found so far is
+    returned (and ``budget.exhausted`` is set), so callers degrade
+    gracefully to a good heuristic answer.
+    """
+    if budget is None:
+        budget = CoverBudget()
+    uncoverable = rows - frozenset().union(*columns.values()) if columns else rows
+    if uncoverable:
+        raise ValueError(f"rows {sorted(uncoverable, key=_stable_key)} cannot be covered")
+
+    incumbent = greedy_cover(columns, rows)
+    state_cols = {k: frozenset(v & rows) for k, v in columns.items() if v & rows}
+    chosen: list[Hashable] = []
+    best = _search(state_cols, rows, chosen, incumbent, budget)
+    return best
+
+
+def _stable_key(x: Hashable) -> str:
+    return repr(x)
+
+
+def _reduce(
+    columns: dict[Hashable, frozenset], rows: frozenset, chosen: list[Hashable]
+) -> tuple[dict[Hashable, frozenset], frozenset, bool]:
+    """Essential + dominance reductions to a fixed point."""
+    changed = True
+    while changed:
+        changed = False
+        # Essential columns: a row covered by exactly one column.
+        cover_count: dict[Hashable, list] = {}
+        for r in rows:
+            covers = [k for k, cells in columns.items() if r in cells]
+            cover_count[r] = covers
+        for r, covers in cover_count.items():
+            if len(covers) == 1:
+                k = covers[0]
+                chosen.append(k)
+                rows = rows - columns[k]
+                columns = {
+                    kk: vv & rows for kk, vv in columns.items() if kk != k and vv & rows
+                }
+                changed = True
+                break
+        if changed:
+            continue
+        # Column dominance: drop a column contained in another.
+        keys = sorted(columns, key=_stable_key)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                if columns[a] <= columns[b]:
+                    del columns[a]
+                    changed = True
+                    break
+                if columns[b] < columns[a]:
+                    del columns[b]
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+        # Row dominance: a row whose cover-set contains another row's
+        # cover-set is easier; drop the dominating row.
+        row_list = sorted(rows, key=_stable_key)
+        row_covers = {
+            r: frozenset(k for k, cells in columns.items() if r in cells)
+            for r in row_list
+        }
+        for i, r1 in enumerate(row_list):
+            for r2 in row_list[i + 1 :]:
+                if row_covers[r1] <= row_covers[r2]:
+                    rows = rows - {r2}
+                    changed = True
+                    break
+                if row_covers[r2] < row_covers[r1]:
+                    rows = rows - {r1}
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            columns = {k: v & rows for k, v in columns.items() if v & rows}
+    return columns, rows, True
+
+
+def _independent_lower_bound(
+    columns: dict[Hashable, frozenset], rows: frozenset
+) -> int:
+    """Greedy maximal set of pairwise column-disjoint rows."""
+    row_covers = {
+        r: frozenset(k for k, cells in columns.items() if r in cells) for r in rows
+    }
+    chosen_rows: list = []
+    used: set = set()
+    for r in sorted(rows, key=lambda r: (len(row_covers[r]), _stable_key(r))):
+        if not (row_covers[r] & used):
+            chosen_rows.append(r)
+            used |= row_covers[r]
+    return len(chosen_rows)
+
+
+def _search(
+    columns: dict[Hashable, frozenset],
+    rows: frozenset,
+    chosen: list[Hashable],
+    incumbent: list[Hashable],
+    budget: CoverBudget,
+) -> list[Hashable]:
+    if not budget.tick():
+        return incumbent
+    columns = dict(columns)
+    chosen = list(chosen)
+    columns, rows, _ = _reduce(columns, rows, chosen)
+    if not rows:
+        return chosen if len(chosen) < len(incumbent) else incumbent
+    lb = len(chosen) + _independent_lower_bound(columns, rows)
+    if lb >= len(incumbent):
+        return incumbent
+    # Branch on the hardest row (fewest covering columns), trying columns
+    # by descending coverage.
+    target = min(
+        rows,
+        key=lambda r: (
+            sum(1 for cells in columns.values() if r in cells),
+            _stable_key(r),
+        ),
+    )
+    branches = sorted(
+        (k for k, cells in columns.items() if target in cells),
+        key=lambda k: (-len(columns[k]), _stable_key(k)),
+    )
+    for k in branches:
+        sub_rows = rows - columns[k]
+        sub_cols = {
+            kk: vv & sub_rows for kk, vv in columns.items() if kk != k and vv & sub_rows
+        }
+        cand = _search(sub_cols, sub_rows, chosen + [k], incumbent, budget)
+        if len(cand) < len(incumbent):
+            incumbent = cand
+        if budget.exhausted:
+            break
+    return incumbent

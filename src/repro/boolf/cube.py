@@ -1,0 +1,258 @@
+"""Cubes (products of literals) over a fixed variable set.
+
+A :class:`Cube` represents a conjunction of literals over variables indexed
+``0 .. num_vars - 1``.  It is stored as a pair of bitmasks:
+
+* ``pos`` — bit *i* set means the positive literal ``x_i`` appears,
+* ``neg`` — bit *i* set means the negated literal ``~x_i`` appears.
+
+A minterm is identified with the integer whose bit *i* holds the value of
+variable *i*; :meth:`Cube.evaluate` tests membership of a minterm in the
+cube.  The all-don't-care cube (``pos == neg == 0``) is the constant-1
+product (tautology).
+
+Cubes are immutable, hashable and totally ordered (by ``(pos, neg)``) so
+they can live in sets and sorted lists deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import DimensionError
+
+__all__ = ["Cube", "literal_name", "parse_literal"]
+
+
+def literal_name(var: int, positive: bool, names: Optional[list[str]] = None) -> str:
+    """Render literal ``var`` as text, e.g. ``a`` or ``a'``.
+
+    ``names`` optionally supplies variable names; the default is
+    ``a, b, c, ...`` for the first 26 variables and ``x<i>`` beyond.
+    """
+    if names is not None and var < len(names):
+        base = names[var]
+    elif var < 26:
+        base = chr(ord("a") + var)
+    else:
+        base = f"x{var}"
+    return base if positive else base + "'"
+
+
+def parse_literal(token: str, names: list[str]) -> tuple[int, bool]:
+    """Parse a literal token like ``a`` / ``a'`` / ``~a`` into (var, positive).
+
+    The variable must already be listed in ``names``.
+    """
+    token = token.strip()
+    positive = True
+    if token.startswith("~") or token.startswith("!"):
+        positive = False
+        token = token[1:]
+    if token.endswith("'"):
+        positive = not positive
+        token = token[:-1]
+    if token not in names:
+        raise DimensionError(f"unknown variable {token!r}; known: {names}")
+    return names.index(token), positive
+
+
+class Cube:
+    """An immutable product of literals over ``num_vars`` variables."""
+
+    __slots__ = ("pos", "neg", "num_vars")
+
+    def __init__(self, pos: int, neg: int, num_vars: int) -> None:
+        if pos & neg:
+            raise ValueError(
+                f"cube has contradictory literals: pos={pos:b} neg={neg:b}"
+            )
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        mask = (1 << num_vars) - 1
+        if (pos | neg) & ~mask:
+            raise DimensionError(
+                f"literal masks exceed num_vars={num_vars}: pos={pos:b} neg={neg:b}"
+            )
+        object.__setattr__(self, "pos", pos)
+        object.__setattr__(self, "neg", neg)
+        object.__setattr__(self, "num_vars", num_vars)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Cube is immutable")
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def top(cls, num_vars: int) -> "Cube":
+        """The constant-1 cube (no literals)."""
+        return cls(0, 0, num_vars)
+
+    @classmethod
+    def from_literals(
+        cls, literals: Iterable[tuple[int, bool]], num_vars: int
+    ) -> "Cube":
+        """Build a cube from ``(var, positive)`` pairs."""
+        pos = neg = 0
+        for var, positive in literals:
+            if positive:
+                pos |= 1 << var
+            else:
+                neg |= 1 << var
+        return cls(pos, neg, num_vars)
+
+    @classmethod
+    def from_minterm(cls, minterm: int, num_vars: int) -> "Cube":
+        """The cube containing exactly one minterm."""
+        mask = (1 << num_vars) - 1
+        return cls(minterm & mask, ~minterm & mask, num_vars)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def support(self) -> int:
+        """Bitmask of variables appearing in the cube."""
+        return self.pos | self.neg
+
+    @property
+    def num_literals(self) -> int:
+        """Number of literals in the product (its *degree* contribution)."""
+        return (self.pos | self.neg).bit_count()
+
+    def literals(self) -> Iterator[tuple[int, bool]]:
+        """Yield ``(var, positive)`` pairs in increasing variable order."""
+        sup = self.pos | self.neg
+        var = 0
+        while sup:
+            if sup & 1:
+                yield var, bool(self.pos >> var & 1)
+            sup >>= 1
+            var += 1
+
+    def is_tautology(self) -> bool:
+        return not (self.pos | self.neg)
+
+    # ----------------------------------------------------------- operations
+    def evaluate(self, minterm: int) -> bool:
+        """True iff the minterm (bit *i* = value of var *i*) lies in the cube."""
+        return (minterm & self.pos) == self.pos and not (minterm & self.neg)
+
+    def contains(self, other: "Cube") -> bool:
+        """Set containment: every minterm of ``other`` is in ``self``.
+
+        Equivalently, ``self``'s literal set is a subset of ``other``'s.
+        """
+        self._check(other)
+        return (self.pos & other.pos) == self.pos and (
+            self.neg & other.neg
+        ) == self.neg
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the two cubes share at least one minterm."""
+        self._check(other)
+        return not (self.pos & other.neg) and not (self.neg & other.pos)
+
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        """The cube of common minterms, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(self.pos | other.pos, self.neg | other.neg, self.num_vars)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both operands."""
+        self._check(other)
+        return Cube(self.pos & other.pos, self.neg & other.neg, self.num_vars)
+
+    def cofactor(self, var: int, value: bool) -> Optional["Cube"]:
+        """Cube restricted to ``x_var = value``; ``None`` if it vanishes."""
+        bit = 1 << var
+        if value:
+            if self.neg & bit:
+                return None
+            return Cube(self.pos & ~bit, self.neg, self.num_vars)
+        if self.pos & bit:
+            return None
+        return Cube(self.pos, self.neg & ~bit, self.num_vars)
+
+    def without(self, var: int) -> "Cube":
+        """Drop any literal of ``var`` from the cube."""
+        bit = ~(1 << var)
+        return Cube(self.pos & bit, self.neg & bit, self.num_vars)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables in which the cubes have opposing literals."""
+        self._check(other)
+        return ((self.pos & other.neg) | (self.neg & other.pos)).bit_count()
+
+    def consensus(self, other: "Cube") -> Optional["Cube"]:
+        """Consensus term when the cubes conflict in exactly one variable."""
+        clash = (self.pos & other.neg) | (self.neg & other.pos)
+        if clash.bit_count() != 1:
+            return None
+        return Cube(
+            (self.pos | other.pos) & ~clash,
+            (self.neg | other.neg) & ~clash,
+            self.num_vars,
+        )
+
+    def minterms(self) -> Iterator[int]:
+        """Yield every minterm contained in the cube (2**free_vars of them)."""
+        free = [
+            v for v in range(self.num_vars) if not (self.pos | self.neg) >> v & 1
+        ]
+        base = self.pos
+        for combo in range(1 << len(free)):
+            m = base
+            for k, v in enumerate(free):
+                if combo >> k & 1:
+                    m |= 1 << v
+            yield m
+
+    def size(self) -> int:
+        """Number of minterms contained in the cube."""
+        return 1 << (self.num_vars - self.num_literals)
+
+    def complement_literals(self) -> "Cube":
+        """Cube with every literal polarity flipped (NOT the set complement)."""
+        return Cube(self.neg, self.pos, self.num_vars)
+
+    def lift(self, num_vars: int) -> "Cube":
+        """Reinterpret the cube over a larger variable universe."""
+        if num_vars < self.num_vars:
+            raise DimensionError("cannot shrink a cube's variable universe")
+        return Cube(self.pos, self.neg, num_vars)
+
+    # -------------------------------------------------------------- dunders
+    def _check(self, other: "Cube") -> None:
+        if self.num_vars != other.num_vars:
+            raise DimensionError(
+                f"cube universes differ: {self.num_vars} vs {other.num_vars}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return (
+            self.pos == other.pos
+            and self.neg == other.neg
+            and self.num_vars == other.num_vars
+        )
+
+    def __lt__(self, other: "Cube") -> bool:
+        self._check(other)
+        return (self.num_literals, self.pos, self.neg) < (
+            other.num_literals,
+            other.pos,
+            other.neg,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pos, self.neg, self.num_vars))
+
+    def to_string(self, names: Optional[list[str]] = None) -> str:
+        if self.is_tautology():
+            return "1"
+        return "".join(
+            literal_name(v, positive, names) for v, positive in self.literals()
+        )
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_string()!r}, num_vars={self.num_vars})"

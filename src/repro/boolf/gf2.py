@@ -1,0 +1,100 @@
+"""Linear algebra over GF(2) on bitmask-encoded vectors.
+
+Vectors over GF(2)^n are Python ints whose bit *i* is coordinate *i* —
+the same convention as minterms in :mod:`repro.boolf.truthtable`.  These
+routines back the autosymmetry and D-reducibility analyses
+(:mod:`repro.core.autosymmetric`, :mod:`repro.core.dreducible`), which
+need spans, ranks, orthogonal complements and coset arithmetic of
+subspaces of the Boolean cube.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "row_reduce",
+    "rank",
+    "span_basis",
+    "in_span",
+    "orthogonal_complement",
+    "span_members",
+    "dot",
+]
+
+
+def dot(a: int, b: int) -> int:
+    """GF(2) inner product: parity of the AND of the two masks."""
+    return (a & b).bit_count() & 1
+
+
+def row_reduce(vectors: Iterable[int]) -> list[int]:
+    """Reduced basis (row echelon over GF(2)) of the span of ``vectors``.
+
+    Returns pivots in decreasing leading-bit order; the zero vector never
+    appears.  Echelon form makes membership tests a linear scan.
+    """
+    basis: list[int] = []  # basis[i] has a unique leading (highest) bit
+    for vec in vectors:
+        for b in basis:
+            vec = min(vec, vec ^ b)
+        if vec:
+            basis.append(vec)
+            basis.sort(reverse=True)
+    # Back-substitute so each leading bit appears in exactly one row.
+    for i in range(len(basis)):
+        lead = 1 << (basis[i].bit_length() - 1)
+        for j in range(len(basis)):
+            if j != i and basis[j] & lead:
+                basis[j] ^= basis[i]
+    basis.sort(reverse=True)
+    return basis
+
+
+def rank(vectors: Iterable[int]) -> int:
+    """Dimension of the span."""
+    return len(row_reduce(vectors))
+
+
+def span_basis(vectors: Iterable[int]) -> list[int]:
+    """Alias of :func:`row_reduce` under its mathematical name."""
+    return row_reduce(vectors)
+
+
+def in_span(vec: int, basis: Sequence[int]) -> bool:
+    """Membership test against a reduced basis (as from :func:`row_reduce`)."""
+    for b in basis:
+        vec = min(vec, vec ^ b)
+    return vec == 0
+
+
+def orthogonal_complement(basis: Sequence[int], num_bits: int) -> list[int]:
+    """Basis of ``{c : dot(c, b) == 0 for every b in basis}`` in GF(2)^n.
+
+    Found by Gaussian elimination on the system ``basis @ c = 0``: the
+    free coordinates parameterize the null space.
+    """
+    rows = row_reduce(basis)
+    # Pivot coordinate of each row (its leading bit position).
+    pivots = [row.bit_length() - 1 for row in rows]
+    pivot_set = set(pivots)
+    free = [i for i in range(num_bits) if i not in pivot_set]
+    out: list[int] = []
+    for f in free:
+        # Set the free coordinate, then solve pivot coordinates bottom-up.
+        vec = 1 << f
+        for row, p in zip(rows, pivots):
+            # Row constraint: parity of (vec restricted to row's support)
+            # must be 0; the pivot coordinate is the only unknown.
+            if dot(row & ~(1 << p), vec):
+                vec |= 1 << p
+        out.append(vec)
+    return row_reduce(out)
+
+
+def span_members(basis: Sequence[int]) -> list[int]:
+    """Every element of the span (2**len(basis) vectors)."""
+    members = [0]
+    for b in basis:
+        members.extend(m ^ b for m in list(members))
+    return members

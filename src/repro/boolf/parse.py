@@ -1,0 +1,110 @@
+"""Parsing of SOP expressions.
+
+Grammar (whitespace-insensitive)::
+
+    sop      := product ('+' product)*  |  '0'  |  '1'
+    product  := literal+ ( '*' literal )*      # '*' / '&' optional
+    literal  := NAME | NAME "'" | '~' NAME | '!' NAME
+
+Without an explicit name list, single lowercase letters ``a..z`` are
+variables and juxtaposition (``ab'c``) is conjunction — matching the
+notation the paper uses (e.g. ``f = cd + c'd' + abe + a'b'e'``).  With an
+explicit ``names`` list, multi-character names are allowed but must be
+separated by ``*``, ``&`` or whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+from repro.errors import ParseError
+from repro.boolf.cube import Cube
+from repro.boolf.sop import Sop
+
+__all__ = ["parse_sop"]
+
+_NEGATORS = ("~", "!")
+
+
+def parse_sop(text: str, names: Optional[Sequence[str]] = None) -> Sop:
+    """Parse an SOP expression into an :class:`~repro.boolf.sop.Sop`."""
+    stripped = text.strip()
+    if not stripped:
+        raise ParseError("empty expression")
+
+    if names is None:
+        used = sorted(set(re.findall(r"[a-z]", stripped)))
+        if stripped in {"0", "1"}:
+            used = used or []
+        name_list = used
+    else:
+        name_list = list(names)
+    num_vars = len(name_list)
+
+    if stripped == "0":
+        return Sop.zero(num_vars, name_list)
+    if stripped == "1":
+        return Sop.one(num_vars, name_list)
+
+    cubes = []
+    for chunk in stripped.split("+"):
+        cubes.append(_parse_product(chunk.strip(), name_list))
+    return Sop(cubes, num_vars, name_list)
+
+
+def _parse_product(chunk: str, names: list[str]) -> Cube:
+    if not chunk:
+        raise ParseError("empty product between '+' signs")
+    if chunk == "1":
+        return Cube.top(len(names))
+    tokens = _tokenize(chunk, names)
+    pos = neg = 0
+    for var, positive in tokens:
+        bit = 1 << var
+        if positive:
+            if neg & bit:
+                raise ParseError(f"contradictory literals for {names[var]!r}")
+            pos |= bit
+        else:
+            if pos & bit:
+                raise ParseError(f"contradictory literals for {names[var]!r}")
+            neg |= bit
+    return Cube(pos, neg, len(names))
+
+
+def _tokenize(chunk: str, names: list[str]) -> list[tuple[int, bool]]:
+    # Multi-character names need separators; single-letter names may be
+    # juxtaposed.  Handle both by scanning greedily for the longest name.
+    out: list[tuple[int, bool]] = []
+    i = 0
+    by_length = sorted(names, key=len, reverse=True)
+    while i < len(chunk):
+        ch = chunk[i]
+        if ch in " \t*&.":
+            i += 1
+            continue
+        negate = False
+        if ch in _NEGATORS:
+            negate = True
+            i += 1
+            while i < len(chunk) and chunk[i] in " \t":
+                i += 1
+            if i >= len(chunk):
+                raise ParseError(f"dangling negation in {chunk!r}")
+        match = None
+        for name in by_length:
+            if chunk.startswith(name, i):
+                match = name
+                break
+        if match is None:
+            raise ParseError(f"unknown variable at {chunk[i:]!r} (names: {names})")
+        i += len(match)
+        positive = not negate
+        if i < len(chunk) and chunk[i] == "'":
+            positive = not positive
+            i += 1
+        out.append((names.index(match), positive))
+    if not out:
+        raise ParseError(f"no literals in product {chunk!r}")
+    return out

@@ -1,0 +1,176 @@
+"""Reading and writing espresso-format PLA files.
+
+Supports the common subset of the Berkeley PLA format used by the LGSynth91
+benchmarks: ``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type fr|f``,
+cube lines (``01-0 1-``), comments (``#``) and ``.e``.
+
+``read_pla`` returns a :class:`PlaFile` holding, per output, the onset and
+don't-care-set covers; :meth:`PlaFile.output_truthtable` tabulates a single
+output.  ``write_pla`` emits a file espresso would accept.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TextIO, Union
+
+from repro.errors import ParseError
+from repro.boolf.cube import Cube
+from repro.boolf.sop import Sop
+from repro.boolf.truthtable import TruthTable
+
+__all__ = ["PlaFile", "read_pla", "write_pla"]
+
+
+@dataclass
+class PlaFile:
+    """Parsed PLA contents: per-output onset/dc covers over shared inputs."""
+
+    num_inputs: int
+    num_outputs: int
+    input_names: list[str]
+    output_names: list[str]
+    onsets: list[list[Cube]] = field(default_factory=list)
+    dcsets: list[list[Cube]] = field(default_factory=list)
+
+    def output_sop(self, index: int) -> Sop:
+        """Onset cover of one output (as written, not minimized)."""
+        return Sop(self.onsets[index], self.num_inputs, self.input_names)
+
+    def output_truthtable(self, index: int) -> TruthTable:
+        return TruthTable.from_cubes(self.onsets[index], self.num_inputs)
+
+    def output_dc_truthtable(self, index: int) -> TruthTable:
+        dc = TruthTable.from_cubes(self.dcsets[index], self.num_inputs)
+        # A minterm both asserted and don't-care counts as asserted.
+        return dc - self.output_truthtable(index)
+
+
+def read_pla(source: Union[str, TextIO]) -> PlaFile:
+    """Parse PLA text (a string or an open file)."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    input_names: list[str] = []
+    output_names: list[str] = []
+    pla_type = "fr"
+    cube_lines: list[tuple[str, str]] = []
+
+    for raw in source:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = int(parts[1])
+            elif directive == ".o":
+                num_outputs = int(parts[1])
+            elif directive == ".ilb":
+                input_names = parts[1:]
+            elif directive == ".ob":
+                output_names = parts[1:]
+            elif directive == ".p":
+                pass  # informative only
+            elif directive == ".type":
+                pla_type = parts[1]
+            elif directive == ".e" or directive == ".end":
+                break
+            else:
+                # Unsupported directives (.mv, .phase, ...) are rejected
+                # loudly rather than silently misread.
+                raise ParseError(f"unsupported PLA directive {directive!r}")
+            continue
+        parts = line.split()
+        if len(parts) == 1 and num_outputs == 0:
+            cube_lines.append((parts[0], ""))
+        elif len(parts) >= 2:
+            cube_lines.append((parts[0], parts[1]))
+        else:
+            raise ParseError(f"malformed PLA cube line {line!r}")
+
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("PLA file missing .i or .o directive")
+    if not input_names:
+        input_names = [f"x{i}" for i in range(num_inputs)]
+    if not output_names:
+        output_names = [f"f{i}" for i in range(num_outputs)]
+
+    onsets: list[list[Cube]] = [[] for _ in range(num_outputs)]
+    dcsets: list[list[Cube]] = [[] for _ in range(num_outputs)]
+    for in_part, out_part in cube_lines:
+        if len(in_part) != num_inputs:
+            raise ParseError(f"cube {in_part!r} has wrong input arity")
+        if len(out_part) != num_outputs:
+            raise ParseError(f"cube output {out_part!r} has wrong arity")
+        cube = _parse_input_cube(in_part, num_inputs)
+        for o, ch in enumerate(out_part):
+            if ch in "1":
+                onsets[o].append(cube)
+            elif ch in "-~2":
+                dcsets[o].append(cube)
+            elif ch in "0":
+                # In type-f PLAs '0' just means "not asserted here"; in
+                # type-fr it asserts membership in the offset, which the
+                # dense-table reader realizes implicitly.
+                continue
+            else:
+                raise ParseError(f"bad output character {ch!r}")
+    del pla_type
+    return PlaFile(
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        input_names=input_names,
+        output_names=output_names,
+        onsets=onsets,
+        dcsets=dcsets,
+    )
+
+
+def _parse_input_cube(text: str, num_inputs: int) -> Cube:
+    pos = neg = 0
+    for i, ch in enumerate(text):
+        if ch == "1":
+            pos |= 1 << i
+        elif ch == "0":
+            neg |= 1 << i
+        elif ch in "-~2":
+            continue
+        else:
+            raise ParseError(f"bad input character {ch!r} in {text!r}")
+    return Cube(pos, neg, num_inputs)
+
+
+def write_pla(
+    covers: Sequence[Sop],
+    output_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize per-output onset covers to PLA text (type f)."""
+    if not covers:
+        raise ValueError("need at least one output cover")
+    num_inputs = covers[0].num_vars
+    for sop in covers:
+        if sop.num_vars != num_inputs:
+            raise ParseError("all outputs must share the input universe")
+    input_names = covers[0].names or [f"x{i}" for i in range(num_inputs)]
+    output_names = list(output_names or [f"f{i}" for i in range(len(covers))])
+
+    lines = [f".i {num_inputs}", f".o {len(covers)}"]
+    lines.append(".ilb " + " ".join(input_names))
+    lines.append(".ob " + " ".join(output_names))
+    rows: list[str] = []
+    for o, sop in enumerate(covers):
+        for cube in sop.cubes:
+            in_part = "".join(
+                "1" if cube.pos >> i & 1 else "0" if cube.neg >> i & 1 else "-"
+                for i in range(num_inputs)
+            )
+            out_part = "".join("1" if k == o else "0" for k in range(len(covers)))
+            rows.append(f"{in_part} {out_part}")
+    lines.append(f".p {len(rows)}")
+    lines.extend(rows)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

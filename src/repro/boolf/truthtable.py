@@ -1,0 +1,235 @@
+"""Dense truth tables backed by numpy boolean arrays.
+
+A :class:`TruthTable` over ``r`` variables stores the function value for all
+``2**r`` input vectors.  Minterm *i* encodes the assignment where bit *j* of
+*i* is the value of variable *j* (variable 0 is the least significant bit).
+
+Dense tables are the workhorse representation for this library: every
+benchmark function in the paper has at most 11 inputs, so tables stay below
+2048 entries and numpy vectorization keeps all operations effectively free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.boolf.cube import Cube
+
+__all__ = ["TruthTable"]
+
+_MAX_VARS = 24  # 16M entries; a deliberate guard against accidental blowups
+
+
+class TruthTable:
+    """A completely specified Boolean function of ``num_vars`` inputs."""
+
+    __slots__ = ("values", "num_vars")
+
+    def __init__(self, values: np.ndarray, num_vars: int) -> None:
+        if num_vars < 0 or num_vars > _MAX_VARS:
+            raise DimensionError(f"num_vars out of range: {num_vars}")
+        values = np.asarray(values, dtype=bool)
+        if values.shape != (1 << num_vars,):
+            raise DimensionError(
+                f"expected {1 << num_vars} entries, got shape {values.shape}"
+            )
+        self.values = values
+        self.num_vars = num_vars
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def zeros(cls, num_vars: int) -> "TruthTable":
+        return cls(np.zeros(1 << num_vars, dtype=bool), num_vars)
+
+    @classmethod
+    def ones(cls, num_vars: int) -> "TruthTable":
+        return cls(np.ones(1 << num_vars, dtype=bool), num_vars)
+
+    @classmethod
+    def variable(cls, var: int, num_vars: int) -> "TruthTable":
+        """The projection function ``f(x) = x_var``."""
+        idx = np.arange(1 << num_vars, dtype=np.int64)
+        return cls((idx >> var & 1).astype(bool), num_vars)
+
+    @classmethod
+    def from_minterms(cls, minterms: Iterable[int], num_vars: int) -> "TruthTable":
+        values = np.zeros(1 << num_vars, dtype=bool)
+        for m in minterms:
+            values[m] = True
+        return cls(values, num_vars)
+
+    @classmethod
+    def from_cube(cls, cube: Cube) -> "TruthTable":
+        idx = np.arange(1 << cube.num_vars, dtype=np.int64)
+        hit = ((idx & cube.pos) == cube.pos) & ((idx & cube.neg) == 0)
+        return cls(hit, cube.num_vars)
+
+    @classmethod
+    def from_cubes(cls, cubes: Sequence[Cube], num_vars: int) -> "TruthTable":
+        idx = np.arange(1 << num_vars, dtype=np.int64)
+        values = np.zeros(1 << num_vars, dtype=bool)
+        for cube in cubes:
+            if cube.num_vars != num_vars:
+                raise DimensionError("cube universe mismatch")
+            values |= ((idx & cube.pos) == cube.pos) & ((idx & cube.neg) == 0)
+        return cls(values, num_vars)
+
+    @classmethod
+    def from_function(
+        cls, fn: Callable[[tuple[int, ...]], object], num_vars: int
+    ) -> "TruthTable":
+        """Tabulate ``fn`` which receives a tuple of 0/1 variable values."""
+        values = np.zeros(1 << num_vars, dtype=bool)
+        for m in range(1 << num_vars):
+            bits = tuple(m >> j & 1 for j in range(num_vars))
+            values[m] = bool(fn(bits))
+        return cls(values, num_vars)
+
+    @classmethod
+    def random(
+        cls, num_vars: int, rng: np.random.Generator, density: float = 0.5
+    ) -> "TruthTable":
+        return cls(rng.random(1 << num_vars) < density, num_vars)
+
+    # ------------------------------------------------------------ accessors
+    def evaluate(self, minterm: int) -> bool:
+        return bool(self.values[minterm])
+
+    def onset(self) -> list[int]:
+        """Minterms where the function is 1."""
+        return np.flatnonzero(self.values).tolist()
+
+    def offset(self) -> list[int]:
+        """Minterms where the function is 0."""
+        return np.flatnonzero(~self.values).tolist()
+
+    def count_ones(self) -> int:
+        return int(self.values.sum())
+
+    def is_zero(self) -> bool:
+        return not self.values.any()
+
+    def is_one(self) -> bool:
+        return bool(self.values.all())
+
+    def depends_on(self, var: int) -> bool:
+        """True iff the function value changes with variable ``var``."""
+        c0 = self.cofactor(var, False)
+        c1 = self.cofactor(var, True)
+        return bool((c0.values != c1.values).any())
+
+    def support(self) -> list[int]:
+        """Variables the function actually depends on."""
+        return [v for v in range(self.num_vars) if self.depends_on(v)]
+
+    # ----------------------------------------------------------- operations
+    def cofactor(self, var: int, value: bool) -> "TruthTable":
+        """Shannon cofactor; the result has ``num_vars - 1`` variables.
+
+        Remaining variables keep their relative order: former variable *w*
+        becomes *w* if ``w < var`` else ``w - 1``.
+        """
+        if not 0 <= var < self.num_vars:
+            raise DimensionError(f"variable {var} out of range")
+        block = 1 << var
+        reshaped = self.values.reshape(-1, 2, block)
+        return TruthTable(
+            reshaped[:, 1 if value else 0, :].reshape(-1), self.num_vars - 1
+        )
+
+    def restrict(self, var: int, value: bool) -> "TruthTable":
+        """Like :meth:`cofactor` but keeps the variable universe unchanged."""
+        cof = self.cofactor(var, value)
+        block = 1 << var
+        tiled = np.repeat(cof.values.reshape(-1, 1, block), 2, axis=1)
+        return TruthTable(tiled.reshape(-1), self.num_vars)
+
+    def compose_complement_inputs(self) -> "TruthTable":
+        """``g(x) = f(~x)``: reverse the table (index complement)."""
+        return TruthTable(self.values[::-1].copy(), self.num_vars)
+
+    def dual(self) -> "TruthTable":
+        """The dual function ``f^D(x) = ~f(~x)``."""
+        return TruthTable(~self.values[::-1], self.num_vars)
+
+    def lift(self, num_vars: int) -> "TruthTable":
+        """Extend to a larger universe; new variables are don't-cares."""
+        if num_vars < self.num_vars:
+            raise DimensionError("cannot drop variables with lift()")
+        reps = 1 << (num_vars - self.num_vars)
+        return TruthTable(np.tile(self.values, reps), num_vars)
+
+    def permute(self, perm: Sequence[int]) -> "TruthTable":
+        """Rename variables: new variable ``perm[v]`` takes old ``v``'s role."""
+        if sorted(perm) != list(range(self.num_vars)):
+            raise DimensionError(f"not a permutation: {perm}")
+        idx = np.arange(1 << self.num_vars, dtype=np.int64)
+        src = np.zeros_like(idx)
+        for old, new in enumerate(perm):
+            src |= (idx >> new & 1) << old
+        return TruthTable(self.values[src], self.num_vars)
+
+    def cube_is_implicant(self, cube: Cube) -> bool:
+        """True iff every minterm of ``cube`` is in the onset."""
+        idx = np.arange(1 << self.num_vars, dtype=np.int64)
+        hit = ((idx & cube.pos) == cube.pos) & ((idx & cube.neg) == 0)
+        return bool(self.values[hit].all())
+
+    # -------------------------------------------------------------- algebra
+    def _check(self, other: "TruthTable") -> None:
+        if self.num_vars != other.num_vars:
+            raise DimensionError(
+                f"truth table universes differ: {self.num_vars} vs {other.num_vars}"
+            )
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.values & other.values, self.num_vars)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.values | other.values, self.num_vars)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.values ^ other.values, self.num_vars)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(~self.values, self.num_vars)
+
+    def __sub__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.values & ~other.values, self.num_vars)
+
+    def implies(self, other: "TruthTable") -> bool:
+        self._check(other)
+        return bool((~self.values | other.values).all())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.num_vars == other.num_vars and bool(
+            (self.values == other.values).all()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, self.values.tobytes()))
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(bool(v) for v in self.values)
+
+    def key(self) -> bytes:
+        """Canonical bytes key (packed bits) for memoization."""
+        return np.packbits(self.values).tobytes()
+
+    def __repr__(self) -> str:
+        if self.num_vars <= 6:
+            bits = "".join("1" if v else "0" for v in self.values)
+            return f"TruthTable({bits!r}, num_vars={self.num_vars})"
+        return (
+            f"TruthTable(num_vars={self.num_vars}, ones={self.count_ones()}"
+            f"/{1 << self.num_vars})"
+        )

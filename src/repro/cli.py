@@ -1,0 +1,283 @@
+"""Command-line interface: ``janus`` / ``python -m repro``.
+
+Subcommands::
+
+    janus synth "ab + a'b'c"          synthesize one function
+    janus synth --pla file.pla -o 0   synthesize a PLA output
+    janus table1 [--max 8]            regenerate Table I
+    janus fig4                        regenerate the Fig. 4 bound example
+    janus table2 [--profile fast] [--algorithms janus,exact,...]
+    janus table3 [--names squar5,misex1,bw]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.boolf.pla import read_pla
+from repro.core.janus import JanusOptions, synthesize
+from repro.core.target import TargetSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="janus",
+        description="SAT-based approximate logic synthesis on switching "
+        "lattices (reproduction of Aksoy & Altun, DATE 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="synthesize a single function")
+    p_synth.add_argument("expression", nargs="?", help="SOP, e.g. \"ab + a'c\"")
+    p_synth.add_argument("--pla", help="PLA file to read the target from")
+    p_synth.add_argument(
+        "-o", "--output", type=int, default=0, help="PLA output index"
+    )
+    p_synth.add_argument(
+        "--max-conflicts", type=int, default=60_000, help="SAT budget per LM"
+    )
+    p_synth.add_argument(
+        "--time-limit", type=float, default=None, help="wall seconds per LM"
+    )
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I (product counts)")
+    p_t1.add_argument("--max", type=int, default=8, help="largest m and n")
+    p_t1.add_argument(
+        "--no-check", action="store_true", help="skip comparison with the paper"
+    )
+
+    sub.add_parser("fig4", help="regenerate the Fig. 4 bound comparison")
+
+    p_t2 = sub.add_parser("table2", help="run the Table II comparison")
+    p_t2.add_argument(
+        "--profile", default=None, choices=("fast", "medium", "full")
+    )
+    p_t2.add_argument(
+        "--algorithms",
+        default="janus",
+        help="comma list: janus,exact,approx,heuristic,pcircuit",
+    )
+    p_t2.add_argument("--names", default=None, help="comma list of instances")
+
+    p_t3 = sub.add_parser("table3", help="run the Table III comparison")
+    p_t3.add_argument("--names", default="squar5,misex1,bw")
+
+    p_render = sub.add_parser(
+        "render", help="synthesize and draw a lattice (ASCII or SVG)"
+    )
+    p_render.add_argument("expression", help="SOP, e.g. \"ab + a'c\"")
+    p_render.add_argument(
+        "--svg", metavar="FILE", help="write an SVG figure instead of ASCII"
+    )
+    p_render.add_argument(
+        "--minterm",
+        type=lambda s: int(s, 0),
+        default=None,
+        help="highlight the conducting path for this input vector",
+    )
+    p_render.add_argument(
+        "--max-conflicts", type=int, default=60_000, help="SAT budget per LM"
+    )
+
+    p_dec = sub.add_parser(
+        "decompose",
+        help="analyze autosymmetry / D-reducibility of a function",
+    )
+    p_dec.add_argument("expression", help="SOP, e.g. \"ab + a'c\"")
+
+    p_drat = sub.add_parser(
+        "drat-check", help="check a DRAT refutation against a DIMACS file"
+    )
+    p_drat.add_argument("dimacs", help="CNF formula (DIMACS)")
+    p_drat.add_argument("proof", help="refutation (DRAT text format)")
+
+    p_faults = sub.add_parser(
+        "faults", help="synthesize and run single-fault analysis"
+    )
+    p_faults.add_argument("expression", help="SOP, e.g. \"ab + a'c\"")
+    p_faults.add_argument(
+        "--max-conflicts", type=int, default=60_000, help="SAT budget per LM"
+    )
+
+    return parser
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    if args.pla:
+        with open(args.pla) as fh:
+            pla = read_pla(fh)
+        tt = pla.output_truthtable(args.output)
+        spec = TargetSpec.from_truthtable(
+            tt, name=pla.output_names[args.output], names=pla.input_names
+        )
+    elif args.expression:
+        spec = TargetSpec.from_string(args.expression)
+    else:
+        print("error: provide an expression or --pla", file=sys.stderr)
+        return 2
+    options = JanusOptions(
+        max_conflicts=args.max_conflicts, lm_time_limit=args.time_limit
+    )
+    result = synthesize(spec, options=options)
+    print(f"target    : {spec.name} (#in={spec.num_inputs}, "
+          f"#pi={spec.num_products}, degree={spec.degree})")
+    print(f"isop      : {spec.isop.to_string()}")
+    print(f"bounds    : lb={result.initial_lower_bound}, "
+          f"initial ub={result.initial_upper_bound} {result.upper_bounds}")
+    print(f"solution  : {result.shape} = {result.size} switches "
+          f"({'provably minimum' if result.is_provably_minimum else 'approximate'}) "
+          f"in {result.wall_time:.1f}s")
+    print(result.assignment.to_text())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.tables import table1
+
+    print(table1(args.max, args.max, check=not args.no_check))
+    return 0
+
+
+def _cmd_fig4(_args: argparse.Namespace) -> int:
+    from repro.bench.tables import fig4
+
+    print(fig4().format())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.bench.tables import table2
+
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    names = (
+        [n.strip() for n in args.names.split(",") if n.strip()]
+        if args.names
+        else None
+    )
+    _rows, report = table2(
+        profile=args.profile, algorithms=algorithms, names=names
+    )
+    print(report)
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.bench.tables import table3
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    _rows, report = table3(names)
+    print(report)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.lattice.render import render_ascii, render_svg
+
+    spec = TargetSpec.from_string(args.expression)
+    options = JanusOptions(max_conflicts=args.max_conflicts)
+    result = synthesize(spec, options=options)
+    print(f"solution: {result.shape} = {result.size} switches")
+    if args.minterm is not None and not spec.tt.evaluate(args.minterm):
+        print(f"note: minterm {args.minterm:#x} is not in the onset; "
+              "nothing will conduct")
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(render_svg(result.assignment, minterm=args.minterm))
+        print(f"wrote {args.svg}")
+    else:
+        print(render_ascii(result.assignment, minterm=args.minterm))
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.boolf.cube import literal_name
+    from repro.core.autosymmetric import reduce_autosymmetric
+    from repro.core.dreducible import affine_hull, reduce_dreducible
+
+    spec = TargetSpec.from_string(args.expression)
+    names = list(spec.names) if spec.names else None
+
+    red = reduce_autosymmetric(spec.tt)
+    print(f"autosymmetry degree k = {red.degree}")
+    if red.degree:
+        print(f"  restriction: {red.restriction.num_vars} variables")
+        for i, mask in enumerate(red.functionals):
+            terms = " ^ ".join(
+                literal_name(v, True, names)
+                for v in range(spec.num_inputs)
+                if mask >> v & 1
+            )
+            print(f"  y{i} = {terms}")
+
+    if spec.tt.is_zero():
+        print("D-reducible: no (zero function)")
+        return 0
+    hull = affine_hull(spec.tt)
+    proper = hull.dimension < spec.num_inputs
+    print(f"D-reducible: {'yes' if proper else 'no'} "
+          f"(affine hull dimension {hull.dimension} of {spec.num_inputs})")
+    if proper:
+        dred = reduce_dreducible(spec.tt)
+        print(f"  projection: {dred.projection.num_vars} variables; "
+              f"{len(dred.cube_constraints)} fixed-variable and "
+              f"{len(dred.exor_constraints)} EXOR constraints")
+    return 0
+
+
+def _cmd_drat_check(args: argparse.Namespace) -> int:
+    from repro.sat.dimacs import read_dimacs
+    from repro.sat.drat import check_refutation, read_drat
+
+    with open(args.dimacs) as fh:
+        cnf = read_dimacs(fh)
+    with open(args.proof) as fh:
+        proof = read_drat(fh)
+    check = check_refutation(cnf, proof)
+    if check.valid:
+        print(f"VALID ({check.steps_checked} steps)")
+        return 0
+    print(f"INVALID: {check.reason}", file=sys.stderr)
+    return 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.lattice.faults import fault_coverage, fault_table, minimal_test_set
+
+    spec = TargetSpec.from_string(args.expression)
+    options = JanusOptions(max_conflicts=args.max_conflicts)
+    result = synthesize(spec, options=options)
+    print(f"lattice: {result.shape} = {result.size} switches")
+    report = fault_table(result.assignment)
+    print(f"faults: {report.num_faults} total, {len(report.testable)} "
+          f"testable, {len(report.redundant)} redundant")
+    tests = minimal_test_set(report)
+    print(f"minimal test set ({len(tests)} vectors):")
+    for vec in tests:
+        print(f"  {vec:0{spec.num_inputs}b}")
+    assert fault_coverage(report, tests) == 1.0
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "synth": _cmd_synth,
+        "table1": _cmd_table1,
+        "fig4": _cmd_fig4,
+        "table2": _cmd_table2,
+        "table3": _cmd_table3,
+        "render": _cmd_render,
+        "decompose": _cmd_decompose,
+        "drat-check": _cmd_drat_check,
+        "faults": _cmd_faults,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

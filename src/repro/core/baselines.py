@@ -1,0 +1,286 @@
+"""Baseline LS algorithms the paper compares against (Table II).
+
+* :func:`exact_search` — the exact method of Gange et al. [6] as updated
+  by [11]: binary search between the Altun–Riedel-style bounds using only
+  the *old* upper-bound constructions (DP/PS/DPS) and the plain encoding
+  without JANUS's approximate degree restrictions.  (The original encodes
+  LM as QBF flattened into SAT; our SAT formulation decides the same
+  relation.)  Exact up to budget: a solver timeout is treated as
+  unrealizable, as in the paper's 6-hour runs.
+* :func:`approx_restricted` — the approximate method of [6]: the same
+  search, but every conducting path at a 1-entry must additionally be
+  mapped inside the literal set of a single target product (the "strict
+  rules on the realization of a product" the paper blames for its worst
+  solutions).
+* :func:`heuristic_candidates` — the heuristic of Morgul & Altun [11]:
+  only a handful of *promising* shapes derived from the target's degree
+  and its dual's degree are probed, smallest area first, without a
+  dichotomic search.
+* :func:`decompose_pcircuit` — a decomposition baseline standing in for
+  the p-circuit method of Bernasconi et al. [9]: Shannon-style cofactor
+  decomposition on the best splitting variable, sub-functions synthesized
+  independently and stacked behind an isolation column.
+
+All baselines return :class:`~repro.core.janus.SynthesisResult` objects
+with ``method`` set accordingly, and verify their assignments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Optional, Union
+
+from repro.errors import SynthesisError
+from repro.boolf.cube import Cube
+from repro.boolf.sop import Sop
+from repro.boolf.truthtable import TruthTable
+from repro.core.bounds import best_upper_bound
+from repro.core.janus import (
+    JanusOptions,
+    LmAttempt,
+    SynthesisResult,
+    _trivial_result,
+    candidate_shapes,
+    make_spec,
+    solve_lm,
+    synthesize,
+)
+from repro.core.structural import structural_lower_bound
+from repro.core.target import TargetSpec
+from repro.lattice.assignment import CONST0, CONST1, LatticeAssignment
+
+__all__ = [
+    "exact_search",
+    "approx_restricted",
+    "heuristic_candidates",
+    "decompose_pcircuit",
+]
+
+Target = Union[TargetSpec, Sop, TruthTable, str]
+
+
+def _search_between(
+    spec: TargetSpec,
+    lb: int,
+    best_assignment: LatticeAssignment,
+    options: JanusOptions,
+    attempts: list[LmAttempt],
+) -> tuple[LatticeAssignment, int]:
+    """Shared dichotomic loop used by the exact/approximate baselines."""
+    ub = best_assignment.size
+    while lb < ub:
+        mp = (lb + ub) // 2
+        found: Optional[LatticeAssignment] = None
+        for rows, cols in candidate_shapes(mp, lb):
+            outcome = solve_lm(spec, rows, cols, options)
+            attempts.append(outcome.attempt)
+            if outcome.status == "sat":
+                found = outcome.assignment
+                break
+        if found is not None:
+            best_assignment = found
+            ub = found.size
+        else:
+            lb = mp + 1
+    return best_assignment, lb
+
+
+def exact_search(
+    target: Target, name: str = "f", options: JanusOptions = JanusOptions()
+) -> SynthesisResult:
+    """Exact method of [6]/[11]: old bounds, plain (unrestricted) encoding."""
+    start = time.monotonic()
+    spec = make_spec(target, name=name, exact=options.exact_minimization)
+    trivial = _trivial_result(spec)
+    if trivial is not None:
+        trivial.method = "exact[6]"
+        return trivial
+    # Plain encoding: no degree/product-realization restrictions, so the
+    # only approximation left is the solver budget.
+    options = replace(
+        options,
+        encode=replace(options.encode, degree_constraints=False),
+        ub_methods=("dp", "ps", "dps"),
+    )
+    lb = structural_lower_bound(spec)
+    initial_lb = lb
+    best_bound, all_bounds = best_upper_bound(spec, ("dp", "ps", "dps"))
+    attempts: list[LmAttempt] = []
+    assignment, lb = _search_between(
+        spec, lb, best_bound.assignment, options, attempts
+    )
+    return SynthesisResult(
+        spec=spec,
+        assignment=assignment,
+        lower_bound=lb,
+        initial_upper_bound=best_bound.size,
+        upper_bounds={k: (v.rows, v.cols) for k, v in all_bounds.items()},
+        attempts=attempts,
+        wall_time=time.monotonic() - start,
+        method="exact[6]",
+        initial_lower_bound=initial_lb,
+    )
+
+
+def approx_restricted(
+    target: Target, name: str = "f", options: JanusOptions = JanusOptions()
+) -> SynthesisResult:
+    """Approximate method of [6]: paths restricted to single products.
+
+    Realized via the encoder's product-realization machinery applied to
+    *every* product (not only maximum-degree ones), which forbids paths
+    from mixing literals of different products — the strict rule the paper
+    describes.
+    """
+    start = time.monotonic()
+    spec = make_spec(target, name=name, exact=options.exact_minimization)
+    trivial = _trivial_result(spec)
+    if trivial is not None:
+        trivial.method = "approx[6]"
+        return trivial
+    options = replace(
+        options,
+        encode=replace(
+            options.encode, degree_constraints=True, big_product_threshold=0
+        ),
+        ub_methods=("dp", "ps", "dps"),
+    )
+    lb = structural_lower_bound(spec)
+    initial_lb = lb
+    best_bound, all_bounds = best_upper_bound(spec, ("dp", "ps", "dps"))
+    attempts: list[LmAttempt] = []
+    assignment, lb = _search_between(
+        spec, lb, best_bound.assignment, options, attempts
+    )
+    return SynthesisResult(
+        spec=spec,
+        assignment=assignment,
+        lower_bound=lb,
+        initial_upper_bound=best_bound.size,
+        upper_bounds={k: (v.rows, v.cols) for k, v in all_bounds.items()},
+        attempts=attempts,
+        wall_time=time.monotonic() - start,
+        method="approx[6]",
+        initial_lower_bound=initial_lb,
+    )
+
+
+def heuristic_candidates(
+    target: Target, name: str = "f", options: JanusOptions = JanusOptions()
+) -> SynthesisResult:
+    """Heuristic of [11]: probe only promising shapes, no dichotomy.
+
+    Promising shapes: ``degree x k`` and ``k x dual_degree`` ladders plus
+    near-square factorizations between the bounds, in increasing area; the
+    first SAT answer is returned.  Because not every candidate is
+    considered, results can be far from optimal (cf. 5xp1_3 in Table II).
+    """
+    start = time.monotonic()
+    spec = make_spec(target, name=name, exact=options.exact_minimization)
+    trivial = _trivial_result(spec)
+    if trivial is not None:
+        trivial.method = "heuristic[11]"
+        return trivial
+    options = replace(options, ub_methods=("dp", "ps", "dps"))
+    lb = structural_lower_bound(spec)
+    best_bound, all_bounds = best_upper_bound(spec, ("dp", "ps", "dps"))
+    ub = best_bound.size
+
+    shapes: set[tuple[int, int]] = set()
+    delta, gamma = spec.degree, spec.dual_degree
+    for k in range(1, max(2, ub // max(1, delta)) + 1):
+        shapes.add((delta, k))
+    for k in range(1, max(2, ub // max(1, gamma)) + 1):
+        shapes.add((k, gamma))
+    for area in range(lb, ub):
+        root = int(area**0.5)
+        for m in (root, root + 1):
+            if m >= 1 and area % m == 0:
+                shapes.add((m, area // m))
+                shapes.add((area // m, m))
+    ordered = sorted(
+        (s for s in shapes if lb <= s[0] * s[1] < ub),
+        key=lambda s: (s[0] * s[1], abs(s[0] - s[1])),
+    )
+
+    attempts: list[LmAttempt] = []
+    assignment = best_bound.assignment
+    for rows, cols in ordered:
+        outcome = solve_lm(spec, rows, cols, options)
+        attempts.append(outcome.attempt)
+        if outcome.status == "sat":
+            assignment = outcome.assignment
+            break
+    return SynthesisResult(
+        spec=spec,
+        assignment=assignment,
+        lower_bound=lb,
+        initial_upper_bound=ub,
+        upper_bounds={k: (v.rows, v.cols) for k, v in all_bounds.items()},
+        attempts=attempts,
+        wall_time=time.monotonic() - start,
+        method="heuristic[11]",
+        initial_lower_bound=lb,
+    )
+
+
+def decompose_pcircuit(
+    target: Target, name: str = "f", options: JanusOptions = JanusOptions()
+) -> SynthesisResult:
+    """Decomposition baseline standing in for the p-circuit method [9].
+
+    Splits on the variable whose cofactors have the fewest total products,
+    synthesizes ``x*f_x`` and ``x'*f_x'`` independently, and stacks them
+    behind an isolation column.
+    """
+    start = time.monotonic()
+    spec = make_spec(target, name=name, exact=options.exact_minimization)
+    trivial = _trivial_result(spec)
+    if trivial is not None:
+        trivial.method = "pcircuit[9]"
+        return trivial
+    sub_options = options.for_subproblems()
+
+    best_var = None
+    best_cost = None
+    for var in spec.tt.support():
+        c0 = make_spec(spec.tt.restrict(var, False), name="c0")
+        c1 = make_spec(spec.tt.restrict(var, True), name="c1")
+        cost = c0.num_products + c1.num_products
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_var = var
+    if best_var is None:
+        raise SynthesisError("target has empty support")
+
+    parts: list[LatticeAssignment] = []
+    for value in (False, True):
+        lit = Cube.from_literals([(best_var, value)], spec.num_inputs)
+        cof = spec.tt.restrict(best_var, value)
+        branch_tt = cof & TruthTable.from_cube(lit)
+        if branch_tt.is_zero():
+            continue
+        branch = make_spec(branch_tt, name=f"{spec.name}|{best_var}={int(value)}")
+        parts.append(synthesize(branch, options=sub_options).assignment)
+    if not parts:
+        raise SynthesisError("decomposition produced no branches")
+    assignment = (
+        parts[0]
+        if len(parts) == 1
+        else LatticeAssignment.hstack(parts, isolation=CONST0, pad_fill=CONST1)
+    )
+    if not assignment.realizes(spec.tt):
+        raise SynthesisError("p-circuit composition failed verification")
+    lb = structural_lower_bound(spec)
+    return SynthesisResult(
+        spec=spec,
+        assignment=assignment,
+        lower_bound=lb,
+        initial_upper_bound=assignment.size,
+        upper_bounds={},
+        attempts=[],
+        wall_time=time.monotonic() - start,
+        method="pcircuit[9]",
+        initial_lower_bound=lb,
+    )

@@ -1,0 +1,133 @@
+"""Divide-and-synthesize (DS) upper bound (paper, Section III-B).
+
+The DS method splits the target's cover into two sub-functions ``g`` and
+``h`` with ``f = g + h`` (balanced product counts, few literals), runs
+JANUS on each, stitches the two solutions side by side behind a single
+constant-0 isolation column (padding shorter blocks with constant-1 bottom
+rows), and then tries to trade rows for columns: as long as the combined
+lattice has more than three rows, each sub-function is re-synthesized on a
+one-row-shorter lattice of minimal width, keeping the combination whenever
+it shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SynthesisError
+from repro.boolf.sop import Sop
+from repro.core.bounds import BoundResult
+from repro.core.target import TargetSpec
+from repro.lattice.assignment import CONST0, CONST1, LatticeAssignment
+
+__all__ = ["partition_products", "ub_ds", "shrink_rows"]
+
+
+def partition_products(cover: Sop) -> tuple[Sop, Sop]:
+    """Split a cover into two balanced halves.
+
+    Products are dealt in descending literal count to the half with fewer
+    literals so far — balancing both the product counts (within one) and
+    the literal totals, which is what the paper asks of ``g`` and ``h``.
+    """
+    if cover.num_products < 2:
+        raise SynthesisError("cannot partition a cover with fewer than 2 products")
+    order = sorted(cover.cubes, key=lambda c: -c.num_literals)
+    parts: list[list] = [[], []]
+    lits = [0, 0]
+    for cube in order:
+        # Prefer the half with fewer products; tie-break on literal load.
+        k = min((0, 1), key=lambda i: (len(parts[i]), lits[i]))
+        parts[k].append(cube)
+        lits[k] += cube.num_literals
+    g = Sop(sorted(parts[0]), cover.num_vars, cover.names)
+    h = Sop(sorted(parts[1]), cover.num_vars, cover.names)
+    return g, h
+
+
+def _combine(
+    left: LatticeAssignment, right: LatticeAssignment
+) -> LatticeAssignment:
+    """Side-by-side OR-composition behind one constant-0 isolation column."""
+    return LatticeAssignment.hstack([left, right], isolation=CONST0, pad_fill=CONST1)
+
+
+def ub_ds(spec: TargetSpec, options=None) -> BoundResult:
+    """The DS upper bound: partition, synthesize, combine, shrink."""
+    from repro.core.janus import JanusOptions, make_spec, synthesize
+
+    if options is None:
+        options = JanusOptions()
+    if spec.num_products < 2:
+        raise SynthesisError("DS needs at least two products")
+    sub_options = options.for_subproblems()
+
+    g, h = partition_products(spec.isop)
+    g_spec = make_spec(g, name=f"{spec.name}.g")
+    h_spec = make_spec(h, name=f"{spec.name}.h")
+    g_res = synthesize(g_spec, options=sub_options)
+    h_res = synthesize(h_spec, options=sub_options)
+
+    combined = _combine(g_res.assignment, h_res.assignment)
+    if not combined.realizes(spec.tt):
+        raise SynthesisError("DS combination failed verification")
+
+    best = shrink_rows(
+        spec, [g_spec, h_spec], [g_res.assignment, h_res.assignment], sub_options
+    )
+    if best is not None and best.size < combined.size:
+        combined = best
+    return BoundResult("ds", combined)
+
+
+def shrink_rows(
+    spec: TargetSpec,
+    sub_specs: list[TargetSpec],
+    sub_assignments: list[LatticeAssignment],
+    options,
+) -> Optional[LatticeAssignment]:
+    """Step 3 of DS: explore combinations with fewer rows.
+
+    While the tallest block has more than three rows, re-fit every
+    sub-function onto ``rows - 1`` rows with minimal width (bounded so the
+    total never exceeds the best size found) and keep improvements.
+    """
+    from repro.core.janus import fit_columns
+
+    current = list(sub_assignments)
+    best: Optional[LatticeAssignment] = None
+    best_cost = sum(a.size for a in current) + max(a.rows for a in current)
+
+    rows = max(a.rows for a in current)
+    while rows > 3:
+        target_rows = rows - 1
+        refit: list[LatticeAssignment] = []
+        ok = True
+        for sub_spec, assignment in zip(sub_specs, current):
+            if assignment.rows <= target_rows:
+                refit.append(assignment)
+                continue
+            # Width budget: the refitted block may not push the combined
+            # lattice past the best known cost.
+            others = sum(a.cols for a in current if a is not assignment)
+            max_cols = max(1, best_cost // target_rows - others - len(current) + 1)
+            fitted = fit_columns(sub_spec, target_rows, max_cols, options)
+            if fitted is None:
+                ok = False
+                break
+            refit.append(fitted)
+        if not ok:
+            break
+        current = refit
+        combined = _combine_many(current)
+        if combined.realizes(spec.tt) and (
+            best is None or combined.size < best.size
+        ):
+            best = combined
+            best_cost = combined.size
+        rows = max(a.rows for a in current)
+    return best
+
+
+def _combine_many(parts: list[LatticeAssignment]) -> LatticeAssignment:
+    return LatticeAssignment.hstack(parts, isolation=CONST0, pad_fill=CONST1)

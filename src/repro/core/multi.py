@@ -1,0 +1,177 @@
+"""JANUS-MF: multiple functions on a single lattice (paper, Section III-C).
+
+Part 1 (the paper's *straight-forward method*): run JANUS per output and
+stack the solutions side by side, each separated by a constant-0 isolation
+column and padded at the bottom with constant 1.  The combined lattice has
+one marked column range per output; function ``k`` is read between the top
+and bottom plates of its column range (the 0-columns keep ranges
+independent).
+
+Part 2 (JANUS-MF proper): as in the DS method's third step, re-synthesize
+every output on lattices with fewer rows (minimal width each) while the
+total shrinks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.errors import SynthesisError
+from repro.boolf.sop import Sop
+from repro.boolf.truthtable import TruthTable
+from repro.core.janus import (
+    JanusOptions,
+    fit_columns,
+    make_spec,
+    synthesize,
+)
+from repro.core.target import TargetSpec
+from repro.lattice.assignment import CONST0, CONST1, LatticeAssignment
+
+__all__ = ["MultiFunctionResult", "synthesize_multi", "merge_straightforward"]
+
+
+@dataclass
+class MultiFunctionResult:
+    """A shared lattice realizing several outputs in disjoint column bands."""
+
+    specs: list[TargetSpec]
+    assignment: LatticeAssignment
+    column_ranges: list[tuple[int, int]]  # [start, end) columns per output
+    per_output: list[LatticeAssignment]
+    method: str
+    wall_time: float = 0.0
+
+    @property
+    def rows(self) -> int:
+        return self.assignment.rows
+
+    @property
+    def cols(self) -> int:
+        return self.assignment.cols
+
+    @property
+    def size(self) -> int:
+        return self.assignment.size
+
+    @property
+    def shape(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+    def output_band(self, index: int) -> LatticeAssignment:
+        """The sub-lattice (column band) realizing output ``index``."""
+        start, end = self.column_ranges[index]
+        entries = [
+            self.assignment.entry(r, c)
+            for r in range(self.rows)
+            for c in range(start, end)
+        ]
+        return LatticeAssignment(
+            self.rows,
+            end - start,
+            entries,
+            self.assignment.num_vars,
+            self.assignment.names,
+        )
+
+    def verify(self) -> bool:
+        """Every output band must realize its target exactly."""
+        return all(
+            self.output_band(i).realizes(spec.tt)
+            for i, spec in enumerate(self.specs)
+        )
+
+
+def _stack(parts: Sequence[LatticeAssignment]) -> tuple[LatticeAssignment, list[tuple[int, int]]]:
+    merged = LatticeAssignment.hstack(
+        list(parts), isolation=CONST0, pad_fill=CONST1
+    )
+    ranges = []
+    col = 0
+    for k, part in enumerate(parts):
+        if k > 0:
+            col += 1  # isolation column
+        ranges.append((col, col + part.cols))
+        col += part.cols
+    return merged, ranges
+
+
+def merge_straightforward(
+    specs: Sequence[TargetSpec],
+    options: JanusOptions = JanusOptions(),
+) -> MultiFunctionResult:
+    """Part 1: independent JANUS runs merged into one lattice."""
+    start = time.monotonic()
+    if not specs:
+        raise SynthesisError("need at least one output")
+    solutions = [synthesize(spec, options=options).assignment for spec in specs]
+    merged, ranges = _stack(solutions)
+    result = MultiFunctionResult(
+        specs=list(specs),
+        assignment=merged,
+        column_ranges=ranges,
+        per_output=solutions,
+        method="straightforward",
+        wall_time=time.monotonic() - start,
+    )
+    if options.verify and not result.verify():
+        raise SynthesisError("straight-forward merge failed verification")
+    return result
+
+
+def synthesize_multi(
+    targets: Sequence[Union[TargetSpec, Sop, TruthTable, str]],
+    names: Optional[Sequence[str]] = None,
+    options: JanusOptions = JanusOptions(),
+) -> MultiFunctionResult:
+    """JANUS-MF: straight-forward merge followed by row shrinking."""
+    start = time.monotonic()
+    specs = [
+        make_spec(t, name=(names[i] if names else f"f{i}"))
+        for i, t in enumerate(targets)
+    ]
+    base = merge_straightforward(specs, options)
+    sub_options = options.for_subproblems()
+
+    current = list(base.per_output)
+    best = base.assignment
+    best_ranges = base.column_ranges
+    best_parts = list(base.per_output)
+    rows = max(a.rows for a in current)
+    while rows > 2:
+        target_rows = rows - 1
+        refit: list[LatticeAssignment] = []
+        ok = True
+        for spec, assignment in zip(specs, current):
+            if assignment.rows <= target_rows:
+                refit.append(assignment)
+                continue
+            max_cols = max(1, best.size // target_rows)
+            fitted = fit_columns(spec, target_rows, max_cols, sub_options)
+            if fitted is None:
+                ok = False
+                break
+            refit.append(fitted)
+        if not ok:
+            break
+        current = refit
+        merged, ranges = _stack(current)
+        if merged.size < best.size:
+            best = merged
+            best_ranges = ranges
+            best_parts = list(current)
+        rows = max(a.rows for a in current)
+
+    result = MultiFunctionResult(
+        specs=specs,
+        assignment=best,
+        column_ranges=best_ranges,
+        per_output=best_parts,
+        method="janus-mf",
+        wall_time=time.monotonic() - start,
+    )
+    if options.verify and not result.verify():
+        raise SynthesisError("JANUS-MF result failed verification")
+    return result

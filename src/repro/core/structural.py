@@ -1,0 +1,79 @@
+"""Structural feasibility checks (paper, Section III-A / III-B).
+
+Before encoding an LM problem, JANUS performs a cheap necessary-condition
+check: every product of the target function needs a *distinct* product of
+the lattice function with at least as many literals (a path can realize a
+k-literal product only if it has >= k switches, and different target
+products need different paths), and the same must hold between the duals.
+The lower bound of the LS problem is the smallest lattice area for which
+some shape passes this check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.target import TargetSpec
+from repro.lattice.paths import left_right_paths8, top_bottom_paths
+
+__all__ = [
+    "sizes_coverable",
+    "structural_check",
+    "structural_lower_bound",
+    "shapes_of_area",
+]
+
+
+def sizes_coverable(
+    target_sizes: Sequence[int], lattice_sizes: Sequence[int]
+) -> bool:
+    """Can each target product be matched to a distinct lattice product of
+    at least its size?  Greedy matching on descending sizes is exact here
+    because compatibility is a threshold relation."""
+    if len(target_sizes) > len(lattice_sizes):
+        return False
+    t = sorted(target_sizes, reverse=True)
+    l = sorted(lattice_sizes, reverse=True)
+    return all(ls >= ts for ts, ls in zip(t, l))
+
+
+def structural_check(spec: TargetSpec, rows: int, cols: int) -> bool:
+    """Necessary condition for realizability of ``spec`` on rows x cols."""
+    primal = top_bottom_paths(rows, cols)
+    if not sizes_coverable(
+        [c.num_literals for c in spec.isop.cubes],
+        [mask.bit_count() for mask in primal],
+    ):
+        return False
+    dual = left_right_paths8(rows, cols)
+    return sizes_coverable(
+        [c.num_literals for c in spec.dual_isop.cubes],
+        [mask.bit_count() for mask in dual],
+    )
+
+
+def shapes_of_area(area: int) -> list[tuple[int, int]]:
+    """All exact factorizations ``rows * cols == area`` (both orientations)."""
+    out = []
+    for m in range(1, area + 1):
+        if area % m == 0:
+            out.append((m, area // m))
+    return out
+
+
+def structural_lower_bound(spec: TargetSpec, max_area: int = 4096) -> int:
+    """Smallest area whose shapes include one passing the structural check.
+
+    Mirrors the paper's Section III-B sweep: starting from area 1, try every
+    shape of that area; the first area with a passing shape is the lower
+    bound of the LS problem.
+    """
+    if spec.is_constant:
+        return 1
+    area = max(1, spec.degree)  # a degree-d product needs d switches
+    while area <= max_area:
+        for rows, cols in shapes_of_area(area):
+            if structural_check(spec, rows, cols):
+                return area
+        area += 1
+    return max_area

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when a Boolean expression or PLA file cannot be parsed."""
+
+
+class DimensionError(ReproError):
+    """Raised when operands have incompatible variable counts or shapes."""
+
+
+class EncodingError(ReproError):
+    """Raised when a CNF encoding request is malformed."""
+
+
+class SolverError(ReproError):
+    """Raised when the SAT solver is driven into an invalid state."""
+
+
+class SynthesisError(ReproError):
+    """Raised when lattice synthesis cannot produce a valid result."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised when a configured resource budget (conflicts, time) runs out
+    in a context where partial answers cannot be returned."""

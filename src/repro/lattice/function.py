@@ -1,0 +1,52 @@
+"""Lattice functions as symbolic SOPs over switch variables.
+
+For an ``m x n`` lattice, :func:`lattice_function` returns the Boolean
+function whose inputs are the ``m*n`` switch control variables and whose
+value is 1 exactly when the conducting switches contain a 4-connected
+top-to-bottom path.  These explicit SOPs back the unit tests that pin the
+paper's worked examples (``f_3x3`` and its 17-product dual) and the
+duality theorem; the synthesis pipeline itself consumes the raw bitmask
+products from :mod:`repro.lattice.paths`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DimensionError
+from repro.boolf.cube import Cube
+from repro.boolf.sop import Sop
+from repro.lattice.paths import left_right_paths8, top_bottom_paths
+
+__all__ = [
+    "lattice_function",
+    "lattice_dual_function",
+    "switch_names",
+    "products_to_sop",
+]
+
+_MAX_SYMBOLIC_CELLS = 30  # 2**30 truth-table entries would be absurd anyway
+
+
+def switch_names(rows: int, cols: int) -> list[str]:
+    """Paper-style switch names: x1 .. x{m*n}, row-major."""
+    return [f"x{i + 1}" for i in range(rows * cols)]
+
+
+def products_to_sop(products: tuple[int, ...], rows: int, cols: int) -> Sop:
+    """Convert path bitmasks into an SOP over the switch variables."""
+    size = rows * cols
+    if size > _MAX_SYMBOLIC_CELLS:
+        raise DimensionError(
+            f"symbolic lattice function limited to {_MAX_SYMBOLIC_CELLS} cells"
+        )
+    cubes = [Cube(mask, 0, size) for mask in products]
+    return Sop(cubes, size, switch_names(rows, cols))
+
+
+def lattice_function(rows: int, cols: int) -> Sop:
+    """The lattice function ``f_{rows x cols}`` in ISOP form."""
+    return products_to_sop(top_bottom_paths(rows, cols), rows, cols)
+
+
+def lattice_dual_function(rows: int, cols: int) -> Sop:
+    """The dual lattice function (8-connected left-right paths), ISOP form."""
+    return products_to_sop(left_right_paths8(rows, cols), rows, cols)

@@ -1,0 +1,111 @@
+"""Switching-lattice geometry.
+
+A :class:`Grid` describes an ``rows x cols`` array of four-terminal
+switches.  Cell ``(r, c)`` has linear index ``r * cols + c``.  The top
+plate touches every row-0 cell, the bottom plate every last-row cell; the
+left plate touches every column-0 cell and the right plate every
+last-column cell.  Neighbourhoods are precomputed as bitmasks, which is
+what the path enumerator and the connectivity checker consume.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from repro.errors import DimensionError
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """Geometry helper for an ``rows x cols`` switching lattice."""
+
+    __slots__ = (
+        "rows",
+        "cols",
+        "size",
+        "nbr4",
+        "nbr8",
+        "top_mask",
+        "bottom_mask",
+        "left_mask",
+        "right_mask",
+    )
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise DimensionError(f"lattice must be at least 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.size = rows * cols
+        self.nbr4 = [0] * self.size
+        self.nbr8 = [0] * self.size
+        for r in range(rows):
+            for c in range(cols):
+                i = r * cols + c
+                for dr, dc, diag in (
+                    (-1, 0, False),
+                    (1, 0, False),
+                    (0, -1, False),
+                    (0, 1, False),
+                    (-1, -1, True),
+                    (-1, 1, True),
+                    (1, -1, True),
+                    (1, 1, True),
+                ):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        j = rr * cols + cc
+                        self.nbr8[i] |= 1 << j
+                        if not diag:
+                            self.nbr4[i] |= 1 << j
+        self.top_mask = sum(1 << c for c in range(cols))
+        self.bottom_mask = sum(1 << ((rows - 1) * cols + c) for c in range(cols))
+        self.left_mask = sum(1 << (r * cols) for r in range(rows))
+        self.right_mask = sum(1 << (r * cols + cols - 1) for r in range(rows))
+
+    # ------------------------------------------------------------- indexing
+    def index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise DimensionError(
+                f"cell ({row},{col}) outside {self.rows}x{self.cols} lattice"
+            )
+        return row * self.cols + col
+
+    def coords(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self.size:
+            raise DimensionError(f"index {index} outside lattice")
+        return divmod(index, self.cols)
+
+    def cells(self) -> Iterator[tuple[int, int]]:
+        for r in range(self.rows):
+            for c in range(self.cols):
+                yield r, c
+
+    def row_cells(self, row: int) -> list[int]:
+        return [row * self.cols + c for c in range(self.cols)]
+
+    def col_cells(self, col: int) -> list[int]:
+        return [r * self.cols + col for r in range(self.rows)]
+
+    def transpose_index(self, index: int) -> int:
+        r, c = divmod(index, self.cols)
+        return c * self.rows + r
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grid):
+            return NotImplemented
+        return self.rows == other.rows and self.cols == other.cols
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.cols))
+
+    def __repr__(self) -> str:
+        return f"Grid({self.rows}x{self.cols})"
+
+
+@lru_cache(maxsize=256)
+def grid(rows: int, cols: int) -> Grid:
+    """Memoized :class:`Grid` factory (grids are immutable)."""
+    return Grid(rows, cols)

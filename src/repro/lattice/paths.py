@@ -1,0 +1,112 @@
+"""Enumeration of irredundant lattice paths.
+
+The products of the ``m x n`` lattice function are exactly the *minimal*
+sets of switches forming a 4-connected top-to-bottom path; the products of
+its dual are the minimal 8-connected left-to-right paths (Altun & Riedel
+2012).  A minimal connecting set is an *induced* path that touches the
+start plate only at its first cell and the goal plate only at its last
+cell: any repeated plate contact or chord adjacency would allow dropping
+cells, contradicting minimality.
+
+The enumerator is a DFS over (last cell, visited mask, forbidden mask)
+where the forbidden mask accumulates all neighbours of the path's earlier
+cells — candidate extensions adjacent to anything but the last cell would
+create a chord and are pruned.  Paths are yielded as cell bitmasks.
+
+These routines regenerate Table I of the paper (see
+:mod:`repro.lattice.count`) and feed the LM encoder with lattice products.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from repro.lattice.grid import Grid
+
+__all__ = [
+    "top_bottom_paths",
+    "left_right_paths8",
+    "iter_top_bottom_paths",
+    "iter_left_right_paths8",
+    "count_top_bottom_paths",
+    "count_left_right_paths8",
+]
+
+
+def _iter_paths(
+    grid: Grid, nbr: list[int], start_mask: int, goal_mask: int
+) -> Iterator[int]:
+    """DFS over induced paths from ``start_mask`` cells to ``goal_mask``.
+
+    Interior cells avoid both plate masks; a path is emitted as soon as it
+    reaches a goal cell (minimality: nothing may follow a goal contact).
+    """
+    size = grid.size
+    starts = [i for i in range(size) if start_mask >> i & 1]
+    # Degenerate case: a cell on both plates is a complete one-cell path.
+    for s in starts:
+        bit = 1 << s
+        if goal_mask & bit:
+            yield bit
+
+    for s in starts:
+        sbit = 1 << s
+        if goal_mask & sbit:
+            continue
+        # stack entries: (last_cell, visited_mask, forbidden_mask)
+        # forbidden = cells that would create a chord (neighbours of
+        # path[:-1]) or revisit (visited) or re-touch the start plate.
+        stack = [(s, sbit, sbit | start_mask)]
+        while stack:
+            last, visited, forbidden = stack.pop()
+            candidates = nbr[last] & ~forbidden
+            goal_hits = candidates & goal_mask
+            while goal_hits:
+                gbit = goal_hits & -goal_hits
+                goal_hits ^= gbit
+                yield visited | gbit
+            rest = candidates & ~goal_mask
+            new_forbidden = forbidden | nbr[last]
+            while rest:
+                cbit = rest & -rest
+                rest ^= cbit
+                stack.append((cbit.bit_length() - 1, visited | cbit, new_forbidden))
+
+
+def iter_top_bottom_paths(grid: Grid) -> Iterator[int]:
+    """Minimal 4-connected top-to-bottom paths (lattice function products)."""
+    return _iter_paths(grid, grid.nbr4, grid.top_mask, grid.bottom_mask)
+
+
+def iter_left_right_paths8(grid: Grid) -> Iterator[int]:
+    """Minimal 8-connected left-to-right paths (dual function products)."""
+    return _iter_paths(grid, grid.nbr8, grid.left_mask, grid.right_mask)
+
+
+@lru_cache(maxsize=128)
+def top_bottom_paths(rows: int, cols: int) -> tuple[int, ...]:
+    """Memoized tuple of products (cell bitmasks) of the lattice function."""
+    return tuple(iter_top_bottom_paths(Grid(rows, cols)))
+
+
+@lru_cache(maxsize=128)
+def left_right_paths8(rows: int, cols: int) -> tuple[int, ...]:
+    """Memoized tuple of products of the dual lattice function."""
+    return tuple(iter_left_right_paths8(Grid(rows, cols)))
+
+
+def count_top_bottom_paths(rows: int, cols: int) -> int:
+    """Number of products in the ``rows x cols`` lattice function."""
+    count = 0
+    for _ in iter_top_bottom_paths(Grid(rows, cols)):
+        count += 1
+    return count
+
+
+def count_left_right_paths8(rows: int, cols: int) -> int:
+    """Number of products in the dual of the ``rows x cols`` lattice function."""
+    count = 0
+    for _ in iter_left_right_paths8(Grid(rows, cols)):
+        count += 1
+    return count

@@ -1,0 +1,153 @@
+"""Rendering assigned lattices as framed ASCII art and SVG.
+
+The paper's figures (Fig. 1(c)/(d), Fig. 4) draw lattices as boxed grids
+between a top and a bottom plate.  :func:`render_ascii` reproduces that
+style for terminals and docs; :func:`render_svg` produces a standalone
+vector figure with optional highlighting of a conducting path for a given
+input vector (the shaded blocks of Fig. 1(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DimensionError
+from repro.lattice.assignment import LatticeAssignment
+
+__all__ = ["render_ascii", "render_svg", "conducting_cells"]
+
+
+def conducting_cells(
+    assignment: LatticeAssignment, minterm: int
+) -> set[tuple[int, int]]:
+    """Cells on some top-to-bottom conducting component for ``minterm``.
+
+    Returns the ON cells 4-connected to the top plate whose component also
+    touches the bottom plate — the cells worth shading in a figure.  Empty
+    when the lattice does not conduct.
+    """
+    grid = assignment.grid
+    on = {
+        (r, c)
+        for r in range(grid.rows)
+        for c in range(grid.cols)
+        if assignment.entry(r, c).evaluate(minterm)
+    }
+    # Flood components from the top row; keep components reaching bottom.
+    result: set[tuple[int, int]] = set()
+    seen: set[tuple[int, int]] = set()
+    for start_col in range(grid.cols):
+        start = (0, start_col)
+        if start not in on or start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            r, c = frontier.pop()
+            for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+                nbr = (nr, nc)
+                if nbr in on and nbr not in component:
+                    component.add(nbr)
+                    frontier.append(nbr)
+        seen |= component
+        if any(r == grid.rows - 1 for r, _ in component):
+            result |= component
+    return result
+
+
+def render_ascii(
+    assignment: LatticeAssignment,
+    minterm: Optional[int] = None,
+    show_plates: bool = True,
+) -> str:
+    """Framed grid rendering; with ``minterm`` conducting cells get ``*``.
+
+    Example (2x3 lattice)::
+
+        ============= top
+        | a  | b' | 1 |
+        | c* | 0  | d |
+        ============= bottom
+    """
+    highlight = (
+        conducting_cells(assignment, minterm) if minterm is not None else set()
+    )
+    cells = []
+    for r in range(assignment.rows):
+        row = []
+        for c in range(assignment.cols):
+            text = assignment.entry(r, c).to_string(assignment.names)
+            if (r, c) in highlight:
+                text += "*"
+            row.append(text)
+        cells.append(row)
+    width = max(len(s) for row in cells for s in row)
+    body_lines = [
+        "| " + " | ".join(s.ljust(width) for s in row) + " |" for row in cells
+    ]
+    if not show_plates:
+        return "\n".join(body_lines)
+    bar = "=" * len(body_lines[0])
+    return "\n".join([f"{bar} top", *body_lines, f"{bar} bottom"])
+
+
+def render_svg(
+    assignment: LatticeAssignment,
+    minterm: Optional[int] = None,
+    cell_size: int = 48,
+    margin: int = 12,
+    plate_height: int = 10,
+) -> str:
+    """Standalone SVG drawing of the lattice in the paper's figure style.
+
+    Switches are boxes labelled with their assigned literal; the top and
+    bottom plates are solid bars.  When ``minterm`` is given, cells on a
+    conducting top-bottom component are shaded (Fig. 1(c) style).
+    """
+    if cell_size <= 0:
+        raise DimensionError("cell_size must be positive")
+    rows, cols = assignment.rows, assignment.cols
+    width = 2 * margin + cols * cell_size
+    height = 2 * margin + rows * cell_size + 2 * plate_height
+    highlight = (
+        conducting_cells(assignment, minterm) if minterm is not None else set()
+    )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<style>text{font-family:monospace;dominant-baseline:central;'
+        "text-anchor:middle}</style>",
+        # Top plate.
+        f'<rect x="{margin}" y="{margin}" width="{cols * cell_size}" '
+        f'height="{plate_height}" fill="#333"/>',
+    ]
+    top = margin + plate_height
+    for r in range(rows):
+        for c in range(cols):
+            x = margin + c * cell_size
+            y = top + r * cell_size
+            fill = "#ffd27f" if (r, c) in highlight else "#ffffff"
+            label = assignment.entry(r, c).to_string(assignment.names)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_size}" '
+                f'height="{cell_size}" fill="{fill}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{x + cell_size / 2:.1f}" '
+                f'y="{y + cell_size / 2:.1f}" '
+                f'font-size="{cell_size // 3}">{_escape(label)}</text>'
+            )
+    bottom_y = top + rows * cell_size
+    parts.append(
+        f'<rect x="{margin}" y="{bottom_y}" width="{cols * cell_size}" '
+        f'height="{plate_height}" fill="#333"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,105 @@
+"""Lattice symmetries and canonical forms of assignments.
+
+The lattice function is invariant under two geometric symmetries:
+
+* **horizontal flip** (reverse every row) — relabels columns, preserving
+  both the 4-connected top-bottom paths and the 8-connected left-right
+  paths;
+* **vertical flip** (reverse the row order) — swaps the top and bottom
+  plates, which are interchangeable because conduction is symmetric.
+
+Together they generate a 4-element group (identity, h, v, hv = 180°
+rotation).  Transposition is *not* a symmetry of the realized top-bottom
+function (it exchanges the roles of the plates and the sides), so it is
+deliberately excluded from the group — it belongs to the primal/dual
+story instead.
+
+:func:`canonical_form` picks a deterministic representative of an
+assignment's orbit, letting search procedures and tests deduplicate
+solutions that differ only by these symmetries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.lattice.assignment import LatticeAssignment
+
+__all__ = [
+    "flip_horizontal",
+    "flip_vertical",
+    "rotate_180",
+    "orbit",
+    "canonical_form",
+    "equivalent",
+]
+
+
+def flip_horizontal(assignment: LatticeAssignment) -> LatticeAssignment:
+    """Reverse every row (mirror across the vertical axis)."""
+    entries = [
+        assignment.entry(r, assignment.cols - 1 - c)
+        for r in range(assignment.rows)
+        for c in range(assignment.cols)
+    ]
+    return LatticeAssignment(
+        assignment.rows,
+        assignment.cols,
+        entries,
+        assignment.num_vars,
+        assignment.names,
+    )
+
+
+def flip_vertical(assignment: LatticeAssignment) -> LatticeAssignment:
+    """Reverse the row order (swap the top and bottom plates)."""
+    entries = [
+        assignment.entry(assignment.rows - 1 - r, c)
+        for r in range(assignment.rows)
+        for c in range(assignment.cols)
+    ]
+    return LatticeAssignment(
+        assignment.rows,
+        assignment.cols,
+        entries,
+        assignment.num_vars,
+        assignment.names,
+    )
+
+
+def rotate_180(assignment: LatticeAssignment) -> LatticeAssignment:
+    """Half-turn rotation = horizontal then vertical flip."""
+    return flip_vertical(flip_horizontal(assignment))
+
+
+_GROUP: list[Callable[[LatticeAssignment], LatticeAssignment]] = [
+    lambda a: a,
+    flip_horizontal,
+    flip_vertical,
+    rotate_180,
+]
+
+
+def orbit(assignment: LatticeAssignment) -> Iterator[LatticeAssignment]:
+    """All images of the assignment under the symmetry group (may repeat)."""
+    for op in _GROUP:
+        yield op(assignment)
+
+
+def _key(assignment: LatticeAssignment) -> tuple:
+    return tuple(
+        (entry.var if entry.var is not None else -1, entry.positive)
+        for entry in assignment.entries
+    )
+
+
+def canonical_form(assignment: LatticeAssignment) -> LatticeAssignment:
+    """The lexicographically smallest member of the orbit."""
+    return min(orbit(assignment), key=_key)
+
+
+def equivalent(a: LatticeAssignment, b: LatticeAssignment) -> bool:
+    """True iff the assignments differ only by a lattice symmetry."""
+    if (a.rows, a.cols, a.num_vars) != (b.rows, b.cols, b.num_vars):
+        return False
+    return canonical_form(a) == canonical_form(b)

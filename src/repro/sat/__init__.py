@@ -1,0 +1,57 @@
+"""SAT substrate: CNF containers, CDCL solver, encodings, proofs, I/O."""
+
+from repro.sat.cnf import Cnf, VarPool
+from repro.sat.solver import CdclSolver, SolveResult, SolverStats, solve_cnf
+from repro.sat.encodings import (
+    Totalizer,
+    at_least_k_totalizer,
+    at_least_one,
+    at_most_k_sequential,
+    at_most_k_totalizer,
+    at_most_one_commander,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_k,
+    exactly_one,
+)
+from repro.sat.dimacs import read_dimacs, write_dimacs
+from repro.sat.simplify import SimplifyResult, simplify
+from repro.sat.preprocess import PreprocessResult, PreprocessStats, preprocess
+from repro.sat.drat import (
+    ProofCheck,
+    check_refutation,
+    check_rup,
+    read_drat,
+    write_drat,
+)
+
+__all__ = [
+    "Cnf",
+    "VarPool",
+    "CdclSolver",
+    "SolveResult",
+    "SolverStats",
+    "solve_cnf",
+    "at_least_one",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "at_most_one_commander",
+    "at_most_k_sequential",
+    "Totalizer",
+    "at_most_k_totalizer",
+    "at_least_k_totalizer",
+    "exactly_k",
+    "exactly_one",
+    "read_dimacs",
+    "write_dimacs",
+    "SimplifyResult",
+    "simplify",
+    "PreprocessResult",
+    "PreprocessStats",
+    "preprocess",
+    "ProofCheck",
+    "check_refutation",
+    "check_rup",
+    "read_drat",
+    "write_drat",
+]

@@ -1,0 +1,102 @@
+"""CNF formula container and named-variable pool.
+
+Variables are positive integers and literals are signed non-zero integers,
+DIMACS style.  :class:`VarPool` hands out fresh variable ids keyed by
+arbitrary hashable objects so encoders can write
+``pool.var(("map", cell, lit))`` and decode models symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+from repro.errors import EncodingError
+
+__all__ = ["Cnf", "VarPool"]
+
+
+class VarPool:
+    """Allocates SAT variables, optionally keyed by hashable names."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise EncodingError("variable ids start at 1")
+        self._next = start
+        self._by_key: dict[Hashable, int] = {}
+        self._by_id: dict[int, Hashable] = {}
+
+    @property
+    def num_vars(self) -> int:
+        return self._next - 1
+
+    def fresh(self) -> int:
+        """A brand-new anonymous variable."""
+        var = self._next
+        self._next += 1
+        return var
+
+    def var(self, key: Hashable) -> int:
+        """The variable registered for ``key``, creating it on first use."""
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        var = self.fresh()
+        self._by_key[key] = var
+        self._by_id[var] = key
+        return var
+
+    def lookup(self, key: Hashable) -> Optional[int]:
+        """The variable for ``key`` if it exists, else ``None``."""
+        return self._by_key.get(key)
+
+    def key_of(self, var: int) -> Optional[Hashable]:
+        return self._by_id.get(var)
+
+    def items(self) -> Iterator[tuple[Hashable, int]]:
+        return iter(self._by_key.items())
+
+
+class Cnf:
+    """A conjunction of clauses with an attached variable pool."""
+
+    def __init__(self, pool: Optional[VarPool] = None) -> None:
+        self.pool = pool if pool is not None else VarPool()
+        self.clauses: list[list[int]] = []
+
+    @property
+    def num_vars(self) -> int:
+        return self.pool.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def complexity(self) -> int:
+        """Variables times clauses — the paper's encoding-size measure."""
+        return self.num_vars * self.num_clauses
+
+    def add(self, lits: Iterable[int]) -> None:
+        """Add one clause, validating literals."""
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0:
+                raise EncodingError("literal 0 is not allowed")
+            if abs(lit) > self.pool.num_vars:
+                raise EncodingError(
+                    f"literal {lit} references an unallocated variable"
+                )
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add(clause)
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={self.num_clauses})"

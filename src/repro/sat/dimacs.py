@@ -1,0 +1,70 @@
+"""DIMACS CNF import/export.
+
+Lets the LM encodings produced here be cross-checked with any external SAT
+solver, and lets external CNFs exercise :class:`repro.sat.CdclSolver`.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from repro.errors import ParseError
+from repro.sat.cnf import Cnf, VarPool
+
+__all__ = ["read_dimacs", "write_dimacs"]
+
+
+def read_dimacs(source: Union[str, TextIO]) -> Cnf:
+    """Parse DIMACS CNF text (string or open file)."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    declared_vars = declared_clauses = None
+    clauses: list[list[int]] = []
+    pending: list[int] = []
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ParseError(f"bad problem line {line!r}")
+            declared_vars, declared_clauses = int(parts[2]), int(parts[3])
+            continue
+        if line.startswith("%"):
+            break
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        clauses.append(pending)
+    if declared_vars is None:
+        raise ParseError("missing problem line")
+    max_var = max((abs(l) for c in clauses for l in c), default=0)
+    pool = VarPool()
+    for _ in range(max(declared_vars, max_var)):
+        pool.fresh()
+    cnf = Cnf(pool)
+    for clause in clauses:
+        cnf.add(clause)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Tolerated: many generators emit an approximate count.  The parse
+        # is still exact.
+        pass
+    return cnf
+
+
+def write_dimacs(cnf: Cnf, comment: str = "") -> str:
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"

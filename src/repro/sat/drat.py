@@ -1,0 +1,226 @@
+"""DRUP proof emission and forward checking.
+
+:class:`~repro.sat.solver.CdclSolver` built with ``proof=True`` records
+every derived clause (learnt clauses, level-0 strengthened inputs, the
+final empty clause) and every learnt-clause deletion.  All of the solver's
+lemmas are *reverse unit propagation* (RUP) consequences, the fragment of
+DRAT that needs no resolution-candidate checks, so a forward RUP check
+validates an entire refutation:
+
+    for each added clause C (in order):
+        assume every literal of C false, unit-propagate over the current
+        clause database; the proof step is valid iff propagation conflicts.
+
+The checker is deliberately independent of the solver — a plain
+counter-free watched-literal propagator built from scratch — so that a
+solver bug cannot hide in shared code.  :func:`check_refutation` returns a
+:class:`ProofCheck` with the failing step when validation fails.
+
+Proofs serialize to the standard DRAT text format (``d`` prefix for
+deletions, ``0`` terminators) via :func:`write_drat` / :func:`read_drat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, TextIO
+
+from repro.errors import SolverError
+
+__all__ = [
+    "ProofCheck",
+    "check_refutation",
+    "check_rup",
+    "read_drat",
+    "write_drat",
+]
+
+ProofStep = tuple[str, tuple[int, ...]]
+
+
+@dataclass
+class ProofCheck:
+    """Outcome of :func:`check_refutation`."""
+
+    valid: bool
+    steps_checked: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class _Propagator:
+    """Minimal two-watched-literal propagator used only for checking.
+
+    Clauses are lists of DIMACS literals.  ``propagate`` runs from a set of
+    assumed-false literals and reports whether a conflict was reached.
+    """
+
+    def __init__(self) -> None:
+        self._clauses: dict[int, list[int]] = {}
+        self._next_id = 0
+        self._units: list[int] = []
+        self._by_key: dict[tuple[int, ...], list[int]] = {}
+
+    @staticmethod
+    def _key(lits: Iterable[int]) -> tuple[int, ...]:
+        return tuple(sorted(set(lits)))
+
+    def add(self, lits: Sequence[int]) -> None:
+        key = self._key(lits)
+        cid = self._next_id
+        self._next_id += 1
+        self._clauses[cid] = list(key)
+        self._by_key.setdefault(key, []).append(cid)
+
+    def delete(self, lits: Sequence[int]) -> bool:
+        """Remove one copy of the clause; False if it was never present."""
+        key = self._key(lits)
+        ids = self._by_key.get(key)
+        if not ids:
+            return False
+        cid = ids.pop()
+        if not ids:
+            del self._by_key[key]
+        del self._clauses[cid]
+        return True
+
+    def rup(self, clause: Sequence[int]) -> bool:
+        """True iff asserting every literal of ``clause`` false conflicts."""
+        assign: dict[int, bool] = {}
+
+        def value(lit: int) -> Optional[bool]:
+            val = assign.get(abs(lit))
+            if val is None:
+                return None
+            return val if lit > 0 else not val
+
+        queue: list[int] = []
+        for lit in clause:
+            forced = -lit
+            val = value(forced)
+            if val is False:
+                return True  # clause contains complementary literals
+            if val is None:
+                assign[abs(forced)] = forced > 0
+                queue.append(forced)
+
+        # Saturating propagation over all clauses.  O(steps * clauses) —
+        # adequate for checking, which favours simplicity over speed.
+        changed = True
+        while changed:
+            changed = False
+            for lits in self._clauses.values():
+                unassigned: Optional[int] = None
+                satisfied = False
+                multiple = False
+                for lit in lits:
+                    val = value(lit)
+                    if val is True:
+                        satisfied = True
+                        break
+                    if val is None:
+                        if unassigned is None:
+                            unassigned = lit
+                        else:
+                            multiple = True
+                            break
+                if satisfied or multiple:
+                    continue
+                if unassigned is None:
+                    return True  # conflict: clause fully falsified
+                assign[abs(unassigned)] = unassigned > 0
+                changed = True
+        return False
+
+
+def check_rup(clauses: Iterable[Sequence[int]], lemma: Sequence[int]) -> bool:
+    """Standalone RUP check of ``lemma`` against ``clauses``."""
+    prop = _Propagator()
+    for clause in clauses:
+        prop.add(clause)
+    return prop.rup(lemma)
+
+
+def check_refutation(
+    clauses: Iterable[Sequence[int]],
+    proof: Sequence[ProofStep],
+    require_empty: bool = True,
+) -> ProofCheck:
+    """Forward-check a DRUP proof against the original formula.
+
+    ``proof`` is the solver's ``proof`` attribute (or :func:`read_drat`
+    output).  With ``require_empty=True`` the proof must derive the empty
+    clause — i.e. constitute a full refutation.
+    """
+    prop = _Propagator()
+    count = 0
+    for clause in clauses:
+        prop.add(clause)
+        count += 1
+    if count == 0 and not proof:
+        return ProofCheck(False, 0, "empty formula and empty proof")
+
+    empty_derived = False
+    for step_index, (kind, lits) in enumerate(proof):
+        if kind == "d":
+            if not prop.delete(lits):
+                return ProofCheck(
+                    False,
+                    step_index,
+                    f"step {step_index}: deleted clause {list(lits)} not present",
+                )
+            continue
+        if kind != "a":
+            return ProofCheck(
+                False, step_index, f"step {step_index}: unknown kind {kind!r}"
+            )
+        if not prop.rup(lits):
+            return ProofCheck(
+                False,
+                step_index,
+                f"step {step_index}: clause {list(lits)} is not RUP",
+            )
+        if not lits:
+            empty_derived = True
+            break
+        prop.add(lits)
+
+    if require_empty and not empty_derived:
+        return ProofCheck(
+            False, len(proof), "proof ends without deriving the empty clause"
+        )
+    return ProofCheck(True, len(proof))
+
+
+def write_drat(proof: Sequence[ProofStep], stream: TextIO) -> None:
+    """Serialize proof steps in the standard DRAT text format."""
+    for kind, lits in proof:
+        prefix = "d " if kind == "d" else ""
+        body = " ".join(str(l) for l in lits)
+        stream.write(f"{prefix}{body}{' ' if body else ''}0\n")
+
+
+def read_drat(stream: TextIO) -> list[ProofStep]:
+    """Parse a DRAT text proof into the solver's in-memory step format."""
+    steps: list[ProofStep] = []
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        kind = "a"
+        if line.startswith("d "):
+            kind = "d"
+            line = line[2:]
+        tokens = line.split()
+        if not tokens or tokens[-1] != "0":
+            raise SolverError(f"line {line_no}: missing 0 terminator")
+        try:
+            lits = tuple(int(t) for t in tokens[:-1])
+        except ValueError as exc:
+            raise SolverError(f"line {line_no}: bad literal ({exc})") from exc
+        if 0 in lits:
+            raise SolverError(f"line {line_no}: literal 0 inside clause")
+        steps.append((kind, lits))
+    return steps

@@ -1,0 +1,308 @@
+"""SatELite-style CNF preprocessing: subsumption, self-subsuming
+resolution and bounded variable elimination (BVE).
+
+This complements :mod:`repro.sat.simplify` (units, pure literals,
+tautologies): `simplify` only ever *forces* variables, while the passes
+here rewrite the clause database.  BVE removes a variable ``v`` by
+replacing the clauses containing it with all non-tautological resolvents
+on ``v``, accepted only when that does not grow the clause count (NiVER's
+criterion).  Eliminated variables need *model reconstruction*: a model of
+the reduced formula is extended by processing eliminations in reverse,
+setting ``v`` true exactly when some original clause with literal ``v``
+has every other literal false.
+
+All passes preserve equisatisfiability, and
+:meth:`PreprocessResult.extend_model` turns any model of the result into a
+model of the original formula — property-tested against brute force in
+``tests/sat/test_preprocess.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.sat.cnf import Cnf, VarPool
+from repro.sat.simplify import simplify
+
+__all__ = ["PreprocessResult", "PreprocessStats", "preprocess"]
+
+
+@dataclass
+class PreprocessStats:
+    """Work counters for one :func:`preprocess` call."""
+
+    subsumed: int = 0
+    strengthened: int = 0
+    eliminated_vars: int = 0
+    forced_vars: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of :func:`preprocess`."""
+
+    cnf: Optional[Cnf]  # None when the formula is UNSAT
+    is_unsat: bool = False
+    forced: dict[int, bool] = field(default_factory=dict)
+    # (var, clauses-that-mentioned-var) per elimination, in order.
+    eliminated: list[tuple[int, list[list[int]]]] = field(default_factory=list)
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+
+    def extend_model(self, model: Sequence[bool], num_vars: int) -> list[bool]:
+        """Extend a model of ``self.cnf`` to the original variable set.
+
+        ``model`` indexes variables as ``model[var-1]``; missing tail
+        variables default to False before reconstruction overlays them.
+        """
+        out = list(model) + [False] * (num_vars - len(model))
+        out = out[:num_vars]
+        for var, val in self.forced.items():
+            if var <= num_vars:
+                out[var - 1] = val
+
+        def lit_true(lit: int) -> bool:
+            val = out[abs(lit) - 1]
+            return val if lit > 0 else not val
+
+        for var, clauses in reversed(self.eliminated):
+            value = False
+            for clause in clauses:
+                if var in clause and not any(
+                    lit_true(l) for l in clause if l != var
+                ):
+                    value = True
+                    break
+            out[var - 1] = value
+        return out
+
+
+def preprocess(
+    cnf: Cnf,
+    max_occurrences: int = 12,
+    max_rounds: int = 4,
+) -> PreprocessResult:
+    """Run subsumption, strengthening and BVE to a fixed point.
+
+    ``max_occurrences`` bounds the occurrence count of variables
+    considered for elimination (SatELite's heuristic guard); growth-free
+    elimination keeps the clause database from exploding either way.
+    """
+    stats = PreprocessStats()
+    result = PreprocessResult(None, stats=stats)
+
+    base = simplify(cnf)
+    if base.is_unsat:
+        result.is_unsat = True
+        return result
+    result.forced.update(base.forced)
+    stats.forced_vars = len(result.forced)
+    assert base.cnf is not None
+    clauses: list[list[int]] = [sorted(set(c)) for c in base.cnf]
+
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        changed = False
+        clauses, sub_removed, strengthened_count, conflict = _subsume_round(clauses)
+        if conflict:
+            result.is_unsat = True
+            return result
+        stats.subsumed += sub_removed
+        stats.strengthened += strengthened_count
+        changed |= bool(sub_removed or strengthened_count)
+
+        # Strengthening can create units; re-run the cheap simplifier so
+        # BVE sees a propagated database.
+        clauses, forced, conflict = _propagate_units(clauses)
+        if conflict:
+            result.is_unsat = True
+            return result
+        for var, val in forced.items():
+            if var not in result.forced:
+                result.forced[var] = val
+                stats.forced_vars += 1
+        changed |= bool(forced)
+
+        eliminated_now = _bve_round(
+            clauses, result, stats, max_occurrences
+        )
+        changed |= eliminated_now
+        if not changed:
+            break
+
+    out = Cnf(VarPool(start=cnf.pool.num_vars + 1))
+    for clause in clauses:
+        out.add(clause)
+    result.cnf = out
+    return result
+
+
+def _propagate_units(
+    clauses: list[list[int]],
+) -> tuple[list[list[int]], dict[int, bool], bool]:
+    """Unit propagation over a clause list; returns (clauses, forced, unsat)."""
+    forced: dict[int, bool] = {}
+
+    def value(lit: int) -> Optional[bool]:
+        val = forced.get(abs(lit))
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    work = [list(c) for c in clauses]
+    changed = True
+    while changed:
+        changed = False
+        next_work: list[list[int]] = []
+        for clause in work:
+            live: list[int] = []
+            satisfied = False
+            for lit in clause:
+                val = value(lit)
+                if val is True:
+                    satisfied = True
+                    break
+                if val is None:
+                    live.append(lit)
+            if satisfied:
+                continue
+            if not live:
+                return [], {}, True
+            if len(live) == 1:
+                lit = live[0]
+                forced[abs(lit)] = lit > 0
+                changed = True
+                continue
+            next_work.append(live)
+        work = next_work
+    return work, forced, False
+
+
+def _subsume_round(
+    clauses: list[list[int]],
+) -> tuple[list[list[int]], int, int, bool]:
+    """One pass of subsumption + self-subsuming resolution.
+
+    Returns (clauses, n_subsumed, n_strengthened, found_empty_clause).
+    """
+    subsumed = 0
+    strengthened = 0
+    # Sort short-first so subsumers are processed before their victims.
+    work = sorted((sorted(set(c)) for c in clauses), key=len)
+    sets = [set(c) for c in work]
+    alive = [True] * len(work)
+
+    occurrences: dict[int, list[int]] = {}
+    for idx, clause in enumerate(work):
+        for lit in clause:
+            occurrences.setdefault(lit, []).append(idx)
+
+    for i, clause in enumerate(work):
+        if not alive[i]:
+            continue
+        # Candidate victims must share the clause's rarest literal, which
+        # keeps the scan near-linear on benchmark-sized formulas.
+        rarest = min(clause, key=lambda l: len(occurrences.get(l, ())))
+        # Plain subsumption: clause ⊆ victim.
+        for j in occurrences.get(rarest, []):
+            if j == i or not alive[j]:
+                continue
+            if len(work[j]) >= len(clause) and sets[i] <= sets[j]:
+                alive[j] = False
+                subsumed += 1
+        # Self-subsuming resolution: for each literal l in clause, victims
+        # containing -l and all other literals of clause lose -l.
+        for lit in clause:
+            rest = sets[i] - {lit}
+            for j in occurrences.get(-lit, []):
+                if not alive[j] or j == i:
+                    continue
+                # Occurrence lists go stale after strengthening: re-check
+                # that the victim still contains -lit.
+                if -lit in sets[j] and len(work[j]) >= len(clause) and rest <= sets[j]:
+                    sets[j].discard(-lit)
+                    work[j] = sorted(sets[j])
+                    strengthened += 1
+                    if not work[j]:
+                        return [], subsumed, strengthened, True
+    out = [work[i] for i in range(len(work)) if alive[i]]
+    return out, subsumed, strengthened, False
+
+
+def _bve_round(
+    clauses: list[list[int]],
+    result: PreprocessResult,
+    stats: PreprocessStats,
+    max_occurrences: int,
+) -> bool:
+    """Growth-free bounded variable elimination, in place on ``clauses``."""
+    progress = False
+    while True:
+        occurrences: dict[int, list[int]] = {}
+        for idx, clause in enumerate(clauses):
+            for lit in clause:
+                occurrences.setdefault(lit, []).append(idx)
+        candidates = sorted(
+            {abs(l) for l in occurrences},
+            key=lambda v: len(occurrences.get(v, ()))
+            + len(occurrences.get(-v, ())),
+        )
+        eliminated_one = False
+        for var in candidates:
+            pos_idx = occurrences.get(var, [])
+            neg_idx = occurrences.get(-var, [])
+            if len(pos_idx) + len(neg_idx) > max_occurrences:
+                continue
+            if not pos_idx or not neg_idx:
+                continue  # pure literals already handled by simplify
+            resolvents: list[list[int]] = []
+            within_budget = True
+            for pi in pos_idx:
+                for ni in neg_idx:
+                    resolvent = _resolve(clauses[pi], clauses[ni], var)
+                    if resolvent is None:
+                        continue  # tautological resolvent: drop
+                    if not resolvent:
+                        result.is_unsat = True
+                        return progress
+                    resolvents.append(resolvent)
+                    # NiVER acceptance: elimination must not grow the
+                    # clause database.
+                    if len(resolvents) > len(pos_idx) + len(neg_idx):
+                        within_budget = False
+                        break
+                if not within_budget:
+                    break
+            if not within_budget:
+                continue
+            # Accept: record the removed clauses for reconstruction.
+            removed = [clauses[i] for i in pos_idx + neg_idx]
+            result.eliminated.append((var, removed))
+            stats.eliminated_vars += 1
+            keep = [
+                c
+                for i, c in enumerate(clauses)
+                if i not in set(pos_idx) | set(neg_idx)
+            ]
+            keep.extend(sorted(set(map(tuple, resolvents))))  # type: ignore[arg-type]
+            clauses[:] = [list(c) for c in keep]
+            eliminated_one = True
+            progress = True
+            break  # occurrence lists are stale; rebuild
+        if not eliminated_one:
+            return progress
+
+
+def _resolve(
+    pos_clause: Sequence[int], neg_clause: Sequence[int], var: int
+) -> Optional[list[int]]:
+    """Resolvent on ``var``; None when tautological."""
+    merged = {l for l in pos_clause if l != var}
+    for lit in neg_clause:
+        if lit == -var:
+            continue
+        if -lit in merged:
+            return None
+        merged.add(lit)
+    return sorted(merged)

@@ -1,0 +1,99 @@
+"""Lightweight CNF preprocessing.
+
+Applied by the JANUS driver before handing LM encodings to the solver:
+unit propagation to a fixed point, pure-literal elimination, tautology and
+duplicate-literal removal.  The simplifier returns the forced assignments
+so models of the simplified formula extend to models of the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sat.cnf import Cnf, VarPool
+
+__all__ = ["SimplifyResult", "simplify"]
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of :func:`simplify`."""
+
+    cnf: Optional[Cnf]  # None when the formula is UNSAT
+    forced: dict[int, bool] = field(default_factory=dict)  # var -> value
+    is_unsat: bool = False
+
+    def extend_model(self, model: list[bool]) -> list[bool]:
+        """Overlay forced assignments onto a model of the simplified CNF."""
+        out = list(model)
+        for var, val in self.forced.items():
+            while len(out) < var:
+                out.append(False)
+            out[var - 1] = val
+        return out
+
+
+def simplify(cnf: Cnf, pure_literals: bool = True) -> SimplifyResult:
+    """Unit propagation + optional pure-literal elimination."""
+    assign: dict[int, bool] = {}
+    clauses: list[list[int]] = []
+    for clause in cnf.clauses:
+        lits = sorted(set(clause))
+        if any(-l in lits for l in lits):
+            continue  # tautology
+        clauses.append(lits)
+
+    changed = True
+    while changed:
+        changed = False
+        next_clauses: list[list[int]] = []
+        for clause in clauses:
+            out: list[int] = []
+            satisfied = False
+            for lit in clause:
+                val = assign.get(abs(lit))
+                if val is None:
+                    out.append(lit)
+                elif (lit > 0) == val:
+                    satisfied = True
+                    break
+            if satisfied:
+                changed = True
+                continue
+            if not out:
+                return SimplifyResult(None, assign, is_unsat=True)
+            if len(out) == 1:
+                lit = out[0]
+                prev = assign.get(abs(lit))
+                if prev is not None and prev != (lit > 0):
+                    return SimplifyResult(None, assign, is_unsat=True)
+                assign[abs(lit)] = lit > 0
+                changed = True
+                continue
+            if len(out) != len(clause):
+                changed = True
+            next_clauses.append(out)
+        clauses = next_clauses
+
+        if pure_literals and not changed:
+            polarity: dict[int, set[bool]] = {}
+            for clause in clauses:
+                for lit in clause:
+                    polarity.setdefault(abs(lit), set()).add(lit > 0)
+            pure = {
+                var: next(iter(pols))
+                for var, pols in polarity.items()
+                if len(pols) == 1 and var not in assign
+            }
+            if pure:
+                assign.update(pure)
+                changed = True
+
+    pool = VarPool()
+    for _ in range(cnf.num_vars):
+        pool.fresh()
+    out_cnf = Cnf(pool)
+    for clause in clauses:
+        out_cnf.add(clause)
+    return SimplifyResult(out_cnf, assign)

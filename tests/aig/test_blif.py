@@ -1,0 +1,150 @@
+"""Tests for BLIF reading and writing."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import Aig, BlifModel, read_blif, write_blif
+from repro.boolf import TruthTable
+from repro.errors import DimensionError
+
+MAJORITY = """\
+# 3-input majority
+.model maj
+.inputs a b c
+.outputs f
+.names a b t1
+11 1
+.names b c t2
+11 1
+.names a c t3
+11 1
+.names t1 t2 t3 f
+1-- 1
+-1- 1
+--1 1
+.end
+"""
+
+
+class TestRead:
+    def test_majority(self):
+        model = read_blif(io.StringIO(MAJORITY))
+        assert model.name == "maj"
+        assert model.input_names == ["a", "b", "c"]
+        tt = model.output_truthtable("f")
+        assert tt == TruthTable.from_minterms([3, 5, 6, 7], 3)
+
+    def test_offset_cover(self):
+        text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n"
+        model = read_blif(io.StringIO(text))
+        # off-set cover: f = NOT(a AND b)
+        assert model.output_truthtable("f") == ~TruthTable.from_minterms([3], 2)
+
+    def test_constant_nodes(self):
+        text = (
+            ".model m\n.inputs a\n.outputs one zero\n"
+            ".names one\n1\n.names zero\n.end\n"
+        )
+        model = read_blif(io.StringIO(text))
+        assert model.output_truthtable("one").is_one()
+        assert model.output_truthtable("zero").is_zero()
+
+    def test_dont_care_columns(self):
+        text = ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n1-0 1\n.end\n"
+        model = read_blif(io.StringIO(text))
+        expected = TruthTable.from_function(
+            lambda bits: bits[0] and not bits[2], 3
+        )
+        assert model.output_truthtable("f") == expected
+
+    def test_line_continuation_and_comments(self):
+        text = (
+            ".model m\n.inputs \\\na b\n.outputs f # trailing\n"
+            ".names a b f\n11 1\n.end\n"
+        )
+        model = read_blif(io.StringIO(text))
+        assert model.input_names == ["a", "b"]
+
+    def test_nodes_in_any_order(self):
+        text = (
+            ".model m\n.inputs a b\n.outputs f\n"
+            ".names t f\n1 1\n.names a b t\n11 1\n.end\n"
+        )
+        model = read_blif(io.StringIO(text))
+        assert model.output_truthtable("f") == TruthTable.from_minterms([3], 2)
+
+    def test_cycle_rejected(self):
+        text = (
+            ".model m\n.inputs a\n.outputs f\n"
+            ".names f a g\n11 1\n.names g a f\n11 1\n.end\n"
+        )
+        with pytest.raises(DimensionError):
+            read_blif(io.StringIO(text))
+
+    def test_undriven_signal_rejected(self):
+        text = ".model m\n.inputs a\n.outputs f\n.names ghost f\n1 1\n.end\n"
+        with pytest.raises(DimensionError):
+            read_blif(io.StringIO(text))
+
+    def test_latch_rejected(self):
+        text = ".model m\n.inputs a\n.outputs f\n.latch a f 0\n.end\n"
+        with pytest.raises(DimensionError):
+            read_blif(io.StringIO(text))
+
+    def test_mixed_polarity_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"
+        with pytest.raises(DimensionError):
+            read_blif(io.StringIO(text))
+
+
+class TestWriteRoundtrip:
+    def roundtrip(self, model: BlifModel) -> BlifModel:
+        buf = io.StringIO()
+        write_blif(model, buf)
+        buf.seek(0)
+        return read_blif(buf)
+
+    def test_majority_roundtrip(self):
+        model = read_blif(io.StringIO(MAJORITY))
+        again = self.roundtrip(model)
+        assert again.input_names == model.input_names
+        assert again.output_truthtable("f") == model.output_truthtable("f")
+
+    def test_constant_outputs(self):
+        aig = Aig(1)
+        model = BlifModel(
+            "m", aig, ["a"], {"one": aig.true, "zero": aig.false}
+        )
+        again = self.roundtrip(model)
+        assert again.output_truthtable("one").is_one()
+        assert again.output_truthtable("zero").is_zero()
+
+    def test_passthrough_and_inverter(self):
+        aig = Aig(1)
+        x = aig.input_lit(0)
+        model = BlifModel("m", aig, ["a"], {"buf": x, "inv": x ^ 1})
+        again = self.roundtrip(model)
+        assert again.output_truthtable("buf") == TruthTable.variable(0, 1)
+        assert again.output_truthtable("inv") == ~TruthTable.variable(0, 1)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_multioutput_roundtrip(self, num_vars, seed, num_outputs):
+        rng = np.random.default_rng(seed)
+        aig = Aig(num_vars)
+        outputs = {}
+        for k in range(num_outputs):
+            tt = TruthTable.random(num_vars, rng)
+            outputs[f"o{k}"] = aig.from_truthtable(tt)
+        names = [f"x{i}" for i in range(num_vars)]
+        model = BlifModel("rand", aig, names, outputs)
+        again = self.roundtrip(model)
+        for name, lit in outputs.items():
+            assert again.output_truthtable(name) == aig.to_truthtable(lit)

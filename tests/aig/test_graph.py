@@ -1,0 +1,99 @@
+"""Unit tests for the AIG manager."""
+
+import pytest
+
+from repro.aig import Aig
+from repro.boolf import Cube, Sop, TruthTable
+from repro.errors import DimensionError
+
+
+class TestNormalization:
+    def test_constants(self):
+        aig = Aig(2)
+        x = aig.input_lit(0)
+        assert aig.and_(x, aig.false) == aig.false
+        assert aig.and_(x, aig.true) == x
+        assert aig.and_(x, x) == x
+        assert aig.and_(x, aig.negate(x)) == aig.false
+
+    def test_structural_hashing(self):
+        aig = Aig(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        assert aig.and_(a, b) == aig.and_(b, a)
+        before = aig.num_ands()
+        aig.and_(a, b)
+        assert aig.num_ands() == before
+
+    def test_or_demorgan(self):
+        aig = Aig(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        f = aig.or_(a, b)
+        for m in range(4):
+            assert aig.evaluate(f, m) == bool(m & 1 or m & 2)
+
+    def test_xor_and_mux(self):
+        aig = Aig(3)
+        a, b, s = aig.input_lit(0), aig.input_lit(1), aig.input_lit(2)
+        x = aig.xor_(a, b)
+        mx = aig.mux(s, a, b)
+        for m in range(8):
+            bits = [bool(m >> i & 1) for i in range(3)]
+            assert aig.evaluate(x, m) == (bits[0] ^ bits[1])
+            assert aig.evaluate(mx, m) == (bits[0] if bits[2] else bits[1])
+
+    def test_input_out_of_range(self):
+        with pytest.raises(DimensionError):
+            Aig(2).input_lit(2)
+
+
+class TestBuilders:
+    def test_from_cube(self):
+        cube = Cube.from_literals([(0, True), (2, False)], 3)
+        aig = Aig(3)
+        lit = aig.from_cube(cube)
+        assert aig.to_truthtable(lit) == TruthTable.from_cube(cube)
+
+    def test_from_sop(self):
+        sop = Sop.from_string("ab + a'c")
+        aig = Aig(3)
+        lit = aig.from_sop(sop)
+        assert aig.to_truthtable(lit) == sop.to_truthtable()
+
+    def test_from_truthtable_roundtrip(self):
+        tt = TruthTable.from_minterms([1, 2, 7, 11], 4)
+        aig = Aig(4)
+        lit = aig.from_truthtable(tt)
+        assert aig.to_truthtable(lit) == tt
+
+    def test_universe_mismatch(self):
+        aig = Aig(2)
+        with pytest.raises(DimensionError):
+            aig.from_sop(Sop.from_string("abc"))
+
+
+class TestStructure:
+    def test_cone_topological(self):
+        aig = Aig(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        f = aig.or_(aig.and_(a, b), aig.xor_(a, b))
+        order = aig.cone(f)
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            if aig.is_and(node):
+                fa, fb = aig.fanins(node)
+                assert position[fa >> 1] < position[node]
+                assert position[fb >> 1] < position[node]
+
+    def test_cone_size_counts_only_ands(self):
+        aig = Aig(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        assert aig.cone_size(a) == 0
+        assert aig.cone_size(aig.and_(a, b)) == 1
+
+    def test_shared_subgraph_counted_once(self):
+        aig = Aig(3)
+        a, b, c = (aig.input_lit(i) for i in range(3))
+        shared = aig.and_(a, b)
+        f = aig.or_(aig.and_(shared, c), aig.and_(shared, aig.negate(c)))
+        nodes = [n for n in aig.cone(f) if aig.is_and(n)]
+        assert len(set(nodes)) == len(nodes)

@@ -1,0 +1,191 @@
+"""Unit tests for the ROBDD manager."""
+
+import pytest
+
+from repro.bdd import Bdd
+from repro.boolf import Cube, Sop, TruthTable
+from repro.errors import DimensionError
+
+
+class TestTerminalsAndVars:
+    def test_constants(self):
+        mgr = Bdd(3)
+        assert mgr.zero == 0
+        assert mgr.one == 1
+        assert mgr.is_terminal(mgr.zero)
+        assert mgr.is_terminal(mgr.one)
+
+    def test_projection(self):
+        mgr = Bdd(3)
+        x1 = mgr.var(1)
+        for minterm in range(8):
+            assert mgr.evaluate(x1, minterm) == bool(minterm >> 1 & 1)
+
+    def test_negated_projection(self):
+        mgr = Bdd(2)
+        assert mgr.nvar(0) == mgr.not_(mgr.var(0))
+
+    def test_var_out_of_range(self):
+        mgr = Bdd(2)
+        with pytest.raises(DimensionError):
+            mgr.var(2)
+
+    def test_hash_consing_makes_equal_functions_identical(self):
+        mgr = Bdd(3)
+        a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+        left = mgr.or_(mgr.and_(a, b), mgr.and_(a, c))
+        right = mgr.and_(a, mgr.or_(b, c))
+        assert left == right
+
+    def test_no_redundant_nodes(self):
+        mgr = Bdd(2)
+        x = mgr.var(0)
+        assert mgr.ite(mgr.var(1), x, x) == x
+
+
+class TestConnectives:
+    def test_truth_tables_of_connectives(self):
+        mgr = Bdd(2)
+        a, b = mgr.var(0), mgr.var(1)
+        cases = {
+            mgr.and_(a, b): [0, 0, 0, 1],
+            mgr.or_(a, b): [0, 1, 1, 1],
+            mgr.xor(a, b): [0, 1, 1, 0],
+            mgr.implies(a, b): [1, 0, 1, 1],
+            mgr.not_(a): [1, 0, 1, 0],
+        }
+        for node, expected in cases.items():
+            got = [mgr.evaluate(node, m) for m in range(4)]
+            assert got == [bool(v) for v in expected]
+
+    def test_conjoin_disjoin_shortcut(self):
+        mgr = Bdd(3)
+        lits = [mgr.var(0), mgr.nvar(0)]
+        assert mgr.conjoin(lits) == mgr.zero
+        assert mgr.disjoin(lits) == mgr.one
+
+    def test_conjoin_empty_is_one(self):
+        mgr = Bdd(2)
+        assert mgr.conjoin([]) == mgr.one
+        assert mgr.disjoin([]) == mgr.zero
+
+
+class TestCofactorsAndQuantifiers:
+    def test_cofactor_matches_truthtable(self):
+        tt = TruthTable.from_minterms([1, 3, 4, 6], 3)
+        mgr = Bdd(3)
+        f = mgr.from_truthtable(tt)
+        for var in range(3):
+            for value in (False, True):
+                got = mgr.to_truthtable(mgr.cofactor(f, var, value))
+                assert got == tt.restrict(var, value)
+
+    def test_exists_forall(self):
+        mgr = Bdd(2)
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.and_(a, b)
+        assert mgr.exists(f, [0]) == b
+        assert mgr.forall(f, [0]) == mgr.zero
+        g = mgr.or_(a, b)
+        assert mgr.forall(g, [0]) == b
+
+    def test_compose(self):
+        mgr = Bdd(3)
+        a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+        f = mgr.xor(a, b)
+        # Substituting b := c gives a xor c.
+        assert mgr.compose(f, 1, c) == mgr.xor(a, c)
+
+
+class TestCountsAndQueries:
+    def test_satcount_simple(self):
+        mgr = Bdd(3)
+        a = mgr.var(0)
+        assert mgr.satcount(a) == 4
+        assert mgr.satcount(mgr.one) == 8
+        assert mgr.satcount(mgr.zero) == 0
+
+    def test_satcount_with_level_skips(self):
+        mgr = Bdd(4)
+        f = mgr.and_(mgr.var(0), mgr.var(3))
+        assert mgr.satcount(f) == 4
+
+    def test_support(self):
+        mgr = Bdd(4)
+        f = mgr.or_(mgr.var(1), mgr.var(3))
+        assert mgr.support(f) == [1, 3]
+        assert mgr.support(mgr.one) == []
+
+    def test_pick_minterm(self):
+        mgr = Bdd(3)
+        f = mgr.and_(mgr.var(0), mgr.nvar(2))
+        m = mgr.pick_minterm(f)
+        assert m is not None
+        assert mgr.evaluate(f, m)
+        assert mgr.pick_minterm(mgr.zero) is None
+
+    def test_iter_minterms(self):
+        tt = TruthTable.from_minterms([0, 5, 7], 3)
+        mgr = Bdd(3)
+        f = mgr.from_truthtable(tt)
+        assert list(mgr.iter_minterms(f)) == [0, 5, 7]
+
+    def test_dag_size(self):
+        mgr = Bdd(2)
+        assert mgr.dag_size(mgr.one) == 1
+        a = mgr.var(0)
+        assert mgr.dag_size(a) == 3  # node + two terminals
+
+
+class TestConversions:
+    def test_from_cube(self):
+        cube = Cube.from_literals([(0, True), (2, False)], 3)
+        mgr = Bdd(3)
+        f = mgr.from_cube(cube)
+        for m in range(8):
+            assert mgr.evaluate(f, m) == cube.evaluate(m)
+
+    def test_sop_roundtrip(self):
+        sop = Sop.from_string("ab + c'd")
+        mgr = Bdd(sop.num_vars)
+        f = mgr.from_sop(sop)
+        assert mgr.to_truthtable(f) == sop.to_truthtable()
+
+    def test_truthtable_roundtrip(self):
+        tt = TruthTable.from_minterms([1, 2, 9, 14], 4)
+        mgr = Bdd(4)
+        assert mgr.to_truthtable(mgr.from_truthtable(tt)) == tt
+
+    def test_universe_mismatch(self):
+        mgr = Bdd(3)
+        with pytest.raises(DimensionError):
+            mgr.from_truthtable(TruthTable.zeros(2))
+
+    def test_dual(self):
+        tt = TruthTable.from_minterms([3, 5, 6, 7], 3)  # majority
+        mgr = Bdd(3)
+        f = mgr.from_truthtable(tt)
+        assert mgr.to_truthtable(mgr.dual(f)) == tt.dual()
+        # Majority is self-dual.
+        assert mgr.dual(f) == f
+
+    def test_dual_involution(self):
+        tt = TruthTable.from_minterms([0, 3, 4, 9, 15], 4)
+        mgr = Bdd(4)
+        f = mgr.from_truthtable(tt)
+        assert mgr.dual(mgr.dual(f)) == f
+
+
+class TestWrapper:
+    def test_operator_syntax(self):
+        mgr = Bdd(2)
+        a, b = mgr.wrap(mgr.var(0)), mgr.wrap(mgr.var(1))
+        f = (a & b) | (~a & ~b)  # XNOR
+        assert [f.evaluate(m) for m in range(4)] == [True, False, False, True]
+        assert f.satcount() == 2
+
+    def test_manager_mismatch(self):
+        f = Bdd(2).wrap(0)
+        g = Bdd(2).wrap(0)
+        with pytest.raises(DimensionError):
+            _ = f & g

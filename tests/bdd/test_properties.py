@@ -1,0 +1,151 @@
+"""Property-based tests: the BDD manager agrees with dense truth tables."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, bdd_isop, sift, with_order
+from repro.boolf import Sop, TruthTable
+from repro.boolf.isop import isop_interval
+
+
+def random_table(num_vars: int, seed: int) -> TruthTable:
+    rng = np.random.default_rng(seed)
+    return TruthTable.random(num_vars, rng)
+
+
+@st.composite
+def table_pairs(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    seed_a = draw(st.integers(min_value=0, max_value=2**31))
+    seed_b = draw(st.integers(min_value=0, max_value=2**31))
+    return random_table(num_vars, seed_a), random_table(num_vars, seed_b)
+
+
+class TestConnectivesAgainstTables:
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_xor_not(self, pair):
+        ta, tb = pair
+        mgr = Bdd(ta.num_vars)
+        fa, fb = mgr.from_truthtable(ta), mgr.from_truthtable(tb)
+        assert mgr.to_truthtable(mgr.and_(fa, fb)) == (ta & tb)
+        assert mgr.to_truthtable(mgr.or_(fa, fb)) == (ta | tb)
+        assert mgr.to_truthtable(mgr.xor(fa, fb)) == (ta ^ tb)
+        assert mgr.to_truthtable(mgr.not_(fa)) == ~ta
+
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_canonicity(self, pair):
+        ta, tb = pair
+        mgr = Bdd(ta.num_vars)
+        fa, fb = mgr.from_truthtable(ta), mgr.from_truthtable(tb)
+        assert (fa == fb) == (ta == tb)
+
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_satcount(self, pair):
+        ta, _ = pair
+        mgr = Bdd(ta.num_vars)
+        assert mgr.satcount(mgr.from_truthtable(ta)) == ta.count_ones()
+
+    @given(table_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_support_matches_table(self, pair):
+        ta, _ = pair
+        mgr = Bdd(ta.num_vars)
+        assert mgr.support(mgr.from_truthtable(ta)) == ta.support()
+
+
+class TestIsopProperties:
+    @given(table_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_isop_exact_when_interval_is_a_point(self, pair):
+        tt, _ = pair
+        mgr = Bdd(tt.num_vars)
+        f = mgr.from_truthtable(tt)
+        cover, cubes = bdd_isop(mgr, f, f)
+        assert cover == f
+        assert Sop(cubes, tt.num_vars).to_truthtable() == tt
+
+    @given(table_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_isop_respects_interval(self, pair):
+        ta, tb = pair
+        lower_tt = ta & tb
+        upper_tt = ta | tb
+        mgr = Bdd(ta.num_vars)
+        lower = mgr.from_truthtable(lower_tt)
+        upper = mgr.from_truthtable(upper_tt)
+        cover, cubes = bdd_isop(mgr, lower, upper)
+        cover_tt = Sop(cubes, ta.num_vars).to_truthtable()
+        assert mgr.to_truthtable(cover) == cover_tt
+        assert lower_tt.implies(cover_tt)
+        assert cover_tt.implies(upper_tt)
+
+    @given(table_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_isop_is_irredundant(self, pair):
+        # Recursion order may differ from the dense implementation, so we
+        # check the contract rather than syntactic equality: the cover is
+        # functionally exact and no cube can be dropped.
+        tt, _ = pair
+        mgr = Bdd(tt.num_vars)
+        f = mgr.from_truthtable(tt)
+        _, cubes = bdd_isop(mgr, f, f)
+        cover = Sop(cubes, tt.num_vars)
+        assert cover.to_truthtable() == tt
+        assert cover.is_irredundant()
+
+    @given(table_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_isop_size_comparable_to_dense(self, pair):
+        # Both are ISOPs of the same function; sizes should be identical
+        # in most cases and never wildly apart.  A generous 2x bound keeps
+        # the test meaningful without over-constraining recursion order.
+        tt, _ = pair
+        if tt.is_zero():
+            return
+        mgr = Bdd(tt.num_vars)
+        f = mgr.from_truthtable(tt)
+        _, cubes = bdd_isop(mgr, f, f)
+        dense = isop_interval(tt, tt)
+        assert len(cubes) <= max(2 * len(dense.cubes), len(dense.cubes) + 2)
+
+
+class TestReorderProperties:
+    @given(table_pairs(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_with_order_preserves_function(self, pair, rnd):
+        tt, _ = pair
+        order = list(range(tt.num_vars))
+        rnd.shuffle(order)
+        mgr = Bdd(tt.num_vars)
+        f = mgr.from_truthtable(tt)
+        new_mgr, (new_f,) = with_order(mgr, [f], order)
+        assert new_mgr.var_order == order
+        assert new_mgr.to_truthtable(new_f) == tt
+
+    @given(table_pairs())
+    @settings(max_examples=15, deadline=None)
+    def test_sift_preserves_function_and_never_grows(self, pair):
+        tt, _ = pair
+        mgr = Bdd(tt.num_vars)
+        f = mgr.from_truthtable(tt)
+        before = mgr.dag_size(f)
+        new_mgr, (new_f,) = sift(mgr, [f], max_rounds=1)
+        assert new_mgr.to_truthtable(new_f) == tt
+        assert new_mgr.dag_size(new_f) <= before
+
+
+class TestSiftKnownWin:
+    def test_interleaved_adder_order(self):
+        # f = a0 b0 + a1 b1 + a2 b2 with order a0 a1 a2 b0 b1 b2 is the
+        # textbook exponential-vs-linear example.
+        num_vars = 6
+        mgr = Bdd(num_vars, var_order=[0, 1, 2, 3, 4, 5])
+        pairs = [(0, 3), (1, 4), (2, 5)]
+        f = mgr.disjoin(mgr.and_(mgr.var(a), mgr.var(b)) for a, b in pairs)
+        bad_size = mgr.dag_size(f)
+        new_mgr, (g,) = sift(mgr, [f])
+        assert new_mgr.dag_size(g) < bad_size
+        assert new_mgr.to_truthtable(g) == mgr.to_truthtable(f)

@@ -1,0 +1,104 @@
+"""Tests for benchmark instance construction."""
+
+import pytest
+
+from repro.bench.instances import stable_seed
+from repro.bench import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    build_instance,
+    build_multi_instance,
+    clpl_output,
+    instance_names,
+    squar5_outputs,
+    synth_signature,
+)
+
+
+class TestPaperData:
+    def test_48_instances(self):
+        assert len(PAPER_TABLE2) == 48
+
+    def test_paper_averages(self):
+        """Sanity-check the transcription against the paper's average row:
+        #in 7.2, #pi 7.3, delta 4.0, lb 15.5, oub 41.1, nub 23.5."""
+        n = len(PAPER_TABLE2)
+        assert round(sum(r.num_inputs for r in PAPER_TABLE2) / n, 1) == 7.2
+        assert round(sum(r.num_products for r in PAPER_TABLE2) / n, 1) == 7.3
+        assert round(sum(r.degree for r in PAPER_TABLE2) / n, 1) == 4.0
+        assert round(sum(r.lb for r in PAPER_TABLE2) / n, 1) == 15.5
+        assert round(sum(r.oub for r in PAPER_TABLE2) / n, 1) == 41.1
+        assert round(sum(r.nub for r in PAPER_TABLE2) / n, 1) == 23.5
+
+    def test_janus_size_helper(self):
+        row = next(r for r in PAPER_TABLE2 if r.name == "5xp1_1")
+        assert row.janus_size == 24  # 4x6
+
+    def test_table3_entries(self):
+        assert set(PAPER_TABLE3) == {"bw", "misex1", "squar5"}
+        assert PAPER_TABLE3["squar5"]["mf_size"] == 108
+
+    def test_instance_names_order(self):
+        names = instance_names()
+        assert names[0] == "5xp1_1"
+        assert len(names) == 48
+
+
+class TestExactRebuilds:
+    @pytest.mark.parametrize("name,k", [("clpl_00", 4), ("clpl_03", 6), ("clpl_04", 5)])
+    def test_clpl_signature(self, name, k):
+        row = next(r for r in PAPER_TABLE2 if r.name == name)
+        sop = clpl_output(k)
+        assert sop.num_vars == row.num_inputs
+        assert sop.num_products == row.num_products
+        assert sop.degree == row.degree
+
+    def test_clpl_cover_is_minimal(self):
+        spec = build_instance("clpl_03")
+        assert spec.num_products == 6
+        assert spec.degree == 6
+        spec.validate()
+
+    def test_squar5_outputs(self):
+        outs = squar5_outputs()
+        assert len(outs) == 8
+        # output k is bit k+2 of x^2: check x=5 -> 25 = 0b11001
+        for k, tt in enumerate(outs):
+            assert tt.evaluate(5) == bool(25 >> (k + 2) & 1)
+            assert tt.evaluate(31) == bool(961 >> (k + 2) & 1)
+
+
+class TestSynthesized:
+    @pytest.mark.parametrize("name", ["b12_03", "dc1_00", "misex1_00", "mp2d_06"])
+    def test_signature_match(self, name):
+        row = next(r for r in PAPER_TABLE2 if r.name == name)
+        spec = build_instance(name)
+        assert spec.num_inputs == row.num_inputs
+        assert spec.num_products == row.num_products
+        assert spec.degree == row.degree
+        spec.validate()
+
+    def test_deterministic(self):
+        a = build_instance("dc1_02")
+        b = build_instance("dc1_02")
+        assert a is b  # cached
+        fresh = synth_signature(4, 4, 3, name="dc1_02", base_seed=stable_seed("dc1_02"))
+        assert fresh.tt == a.tt
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(KeyError):
+            build_instance("nonexistent_99")
+
+
+class TestMultiInstances:
+    def test_squar5_multi(self):
+        specs = build_multi_instance("squar5")
+        assert len(specs) == 8
+
+    def test_misex1_multi(self):
+        specs = build_multi_instance("misex1")
+        assert len(specs) == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_multi_instance("nope")

@@ -1,0 +1,67 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.bench import (
+    compute_bounds_report,
+    default_options,
+    format_table2,
+    profile_names,
+    run_algorithm,
+    run_table2,
+    run_table2_instance,
+)
+from repro.bench.instances import build_instance
+
+
+class TestProfiles:
+    def test_fast_profile_small_instances(self):
+        names = profile_names("fast")
+        assert names
+        from repro.bench import PAPER_TABLE2
+
+        by_name = {r.name: r for r in PAPER_TABLE2}
+        assert all(by_name[n].num_inputs <= 7 for n in names)
+
+    def test_profiles_nested(self):
+        fast = set(profile_names("fast"))
+        medium = set(profile_names("medium"))
+        full = set(profile_names("full"))
+        assert fast <= medium <= full
+        assert len(full) == 48
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            profile_names("turbo")
+
+    def test_default_options_budgets_grow(self):
+        assert (
+            default_options("fast").max_conflicts
+            < default_options("medium").max_conflicts
+            < default_options("full").max_conflicts
+        )
+
+
+class TestRunner:
+    def test_bounds_report(self):
+        spec = build_instance("b12_03")
+        report = compute_bounds_report(spec)
+        assert report.lb <= report.new_ub <= report.old_ub
+        assert "dp" in report.per_method
+
+    def test_run_algorithm_janus(self, fast_options):
+        spec = build_instance("b12_03")
+        result = run_algorithm("janus", spec, fast_options)
+        assert result.size >= 1
+        assert result.algorithm == "janus"
+
+    def test_run_instance_and_format(self, fast_options):
+        row = run_table2_instance("b12_03", ("janus",), fast_options)
+        assert "janus" in row.results
+        text = format_table2([row])
+        assert "b12_03" in text
+        assert "nub(paper)" in text
+
+    def test_run_table2_multiple(self, fast_options):
+        rows = run_table2(["b12_03", "c17_01"], ("janus",), fast_options)
+        assert len(rows) == 2

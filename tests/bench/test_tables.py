@@ -1,0 +1,38 @@
+"""Tests for the table regenerators."""
+
+from repro.bench import fig4, table1, table3
+from repro.bench.tables import FIG4_PAPER_BOUNDS
+
+
+class TestTable1:
+    def test_small_table_checked(self):
+        report = table1(4, 4)
+        assert "all entries match the paper" in report
+
+    def test_unchecked_mode(self):
+        report = table1(3, 3, check=False)
+        assert "unchecked" in report
+
+
+class TestFig4:
+    def test_report_matches_paper(self, fast_options):
+        report = fig4(fast_options)
+        for method, shape in FIG4_PAPER_BOUNDS.items():
+            assert report.bounds[method] == shape, method
+        assert report.lb == 12
+        assert report.solution[0] * report.solution[1] == 12
+        text = report.format()
+        assert "3x4" in text
+
+
+class TestTable3:
+    def test_two_output_toy(self, fast_options):
+        # Full Table III is a benchmark; here only the plumbing is tested
+        # on squar5 truncated via direct calls in benchmarks.  Use misex1's
+        # smallest two outputs through the public API instead.
+        from repro.core import synthesize_multi, merge_straightforward, make_spec
+
+        specs = [make_spec("ab + a'b'", name="t0"), make_spec("ac", name="t1")]
+        sf = merge_straightforward(specs, fast_options)
+        mf = synthesize_multi(specs, options=fast_options)
+        assert mf.size <= sf.size

@@ -1,0 +1,76 @@
+"""Tests for the unate covering solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolf.cover import CoverBudget, greedy_cover, min_cover
+
+
+def brute_force_min(columns, rows):
+    keys = sorted(columns, key=repr)
+    for k in range(len(keys) + 1):
+        for combo in itertools.combinations(keys, k):
+            covered = frozenset().union(*(columns[c] for c in combo)) if combo else frozenset()
+            if rows <= covered:
+                return k
+    raise AssertionError("uncoverable")
+
+
+class TestGreedy:
+    def test_simple(self):
+        columns = {"a": frozenset({1, 2}), "b": frozenset({3})}
+        assert set(greedy_cover(columns, frozenset({1, 2, 3}))) == {"a", "b"}
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            greedy_cover({"a": frozenset({1})}, frozenset({1, 2}))
+
+    def test_empty_rows(self):
+        assert greedy_cover({"a": frozenset({1})}, frozenset()) == []
+
+
+class TestMinCover:
+    def test_essential_extraction(self):
+        columns = {
+            "a": frozenset({1}),
+            "b": frozenset({1, 2}),
+            "c": frozenset({3}),
+        }
+        cover = min_cover(columns, frozenset({1, 2, 3}))
+        assert set(cover) == {"b", "c"}
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            min_cover({"a": frozenset({1})}, frozenset({2}))
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(0, 5), min_size=0, max_size=4),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    def test_optimal_vs_brute_force(self, col_sets):
+        columns = {i: cells for i, cells in enumerate(col_sets)}
+        rows = frozenset().union(*col_sets) if col_sets else frozenset()
+        cover = min_cover(columns, rows)
+        covered = frozenset().union(*(columns[c] for c in cover)) if cover else frozenset()
+        assert rows <= covered
+        assert len(cover) == brute_force_min(columns, rows)
+
+    def test_budget_returns_incumbent(self):
+        columns = {i: frozenset({i, (i + 1) % 8}) for i in range(8)}
+        budget = CoverBudget(max_nodes=1)
+        cover = min_cover(columns, frozenset(range(8)), budget)
+        covered = frozenset().union(*(columns[c] for c in cover))
+        assert frozenset(range(8)) <= covered
+
+    def test_cyclic_core(self):
+        # A cyclic covering instance with no essentials: minimum is 3.
+        columns = {
+            i: frozenset({i, (i + 1) % 6}) for i in range(6)
+        }
+        cover = min_cover(columns, frozenset(range(6)))
+        assert len(cover) == 3

@@ -1,0 +1,184 @@
+"""Unit and property tests for repro.boolf.cube."""
+
+import pytest
+from hypothesis import given
+
+from repro.boolf import Cube
+from repro.errors import DimensionError
+from tests.conftest import cubes
+
+
+class TestConstruction:
+    def test_top_has_no_literals(self):
+        c = Cube.top(4)
+        assert c.num_literals == 0
+        assert c.is_tautology()
+
+    def test_contradictory_literals_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(0b1, 0b1, 3)
+
+    def test_mask_outside_universe_rejected(self):
+        with pytest.raises(DimensionError):
+            Cube(0b1000, 0, 3)
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(0, 0, -1)
+
+    def test_from_literals(self):
+        c = Cube.from_literals([(0, True), (2, False)], 4)
+        assert c.pos == 0b0001
+        assert c.neg == 0b0100
+        assert c.num_literals == 2
+
+    def test_from_minterm(self):
+        c = Cube.from_minterm(0b0101, 4)
+        assert c.evaluate(0b0101)
+        assert not c.evaluate(0b0100)
+        assert c.num_literals == 4
+        assert c.size() == 1
+
+    def test_immutability(self):
+        c = Cube.top(2)
+        with pytest.raises(AttributeError):
+            c.pos = 3
+
+
+class TestEvaluation:
+    def test_evaluate_positive(self):
+        c = Cube.from_literals([(1, True)], 3)
+        assert c.evaluate(0b010)
+        assert not c.evaluate(0b101)
+
+    def test_evaluate_negative(self):
+        c = Cube.from_literals([(1, False)], 3)
+        assert not c.evaluate(0b010)
+        assert c.evaluate(0b101)
+
+    def test_tautology_evaluates_everywhere(self):
+        c = Cube.top(3)
+        assert all(c.evaluate(m) for m in range(8))
+
+    @given(cubes(4))
+    def test_minterms_match_evaluate(self, c):
+        listed = set(c.minterms())
+        by_eval = {m for m in range(16) if c.evaluate(m)}
+        assert listed == by_eval
+
+    @given(cubes(4))
+    def test_size_counts_minterms(self, c):
+        assert c.size() == len(list(c.minterms()))
+
+
+class TestSetOperations:
+    def test_contains_is_literal_subset(self):
+        ab = Cube.from_literals([(0, True), (1, True)], 3)
+        a = Cube.from_literals([(0, True)], 3)
+        assert a.contains(ab)
+        assert not ab.contains(a)
+
+    def test_intersects_disjoint(self):
+        a = Cube.from_literals([(0, True)], 2)
+        na = Cube.from_literals([(0, False)], 2)
+        assert not a.intersects(na)
+        assert a.intersection(na) is None
+
+    @given(cubes(4), cubes(4))
+    def test_intersection_is_conjunction(self, a, b):
+        inter = a.intersection(b)
+        for m in range(16):
+            want = a.evaluate(m) and b.evaluate(m)
+            got = inter is not None and inter.evaluate(m)
+            assert got == want
+
+    @given(cubes(4), cubes(4))
+    def test_supercube_contains_both(self, a, b):
+        sup = a.supercube(b)
+        assert sup.contains(a)
+        assert sup.contains(b)
+
+    @given(cubes(4), cubes(4))
+    def test_distance_counts_clashes(self, a, b):
+        clashes = sum(
+            1
+            for v in range(4)
+            if (a.pos >> v & 1 and b.neg >> v & 1)
+            or (a.neg >> v & 1 and b.pos >> v & 1)
+        )
+        assert a.distance(b) == clashes
+
+    def test_consensus(self):
+        x = Cube.from_literals([(0, True), (1, True)], 3)
+        y = Cube.from_literals([(0, False), (2, True)], 3)
+        cons = x.consensus(y)
+        assert cons == Cube.from_literals([(1, True), (2, True)], 3)
+
+    def test_consensus_none_when_distance_not_one(self):
+        x = Cube.from_literals([(0, True), (1, True)], 3)
+        y = Cube.from_literals([(0, False), (1, False)], 3)
+        assert x.consensus(y) is None
+
+    def test_universe_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            Cube.top(2).contains(Cube.top(3))
+
+
+class TestManipulation:
+    def test_cofactor_removes_literal(self):
+        c = Cube.from_literals([(0, True), (1, False)], 3)
+        c1 = c.cofactor(0, True)
+        assert c1 == Cube.from_literals([(1, False)], 3)
+
+    def test_cofactor_vanishes_on_conflict(self):
+        c = Cube.from_literals([(0, True)], 3)
+        assert c.cofactor(0, False) is None
+
+    def test_without_drops_variable(self):
+        c = Cube.from_literals([(0, True), (1, True)], 3)
+        assert c.without(0) == Cube.from_literals([(1, True)], 3)
+
+    def test_complement_literals(self):
+        c = Cube.from_literals([(0, True), (1, False)], 3)
+        assert c.complement_literals() == Cube.from_literals(
+            [(0, False), (1, True)], 3
+        )
+
+    def test_lift(self):
+        c = Cube.from_literals([(0, True)], 2)
+        lifted = c.lift(5)
+        assert lifted.num_vars == 5
+        assert lifted.pos == c.pos
+
+    def test_lift_shrink_rejected(self):
+        with pytest.raises(DimensionError):
+            Cube.top(4).lift(2)
+
+
+class TestStringsAndOrdering:
+    def test_to_string_default_names(self):
+        c = Cube.from_literals([(0, True), (1, False), (2, True)], 3)
+        assert c.to_string() == "ab'c"
+
+    def test_to_string_tautology(self):
+        assert Cube.top(3).to_string() == "1"
+
+    def test_to_string_custom_names(self):
+        c = Cube.from_literals([(0, True)], 2)
+        assert c.to_string(["sel", "en"]) == "sel"
+
+    def test_hash_and_eq(self):
+        a = Cube.from_literals([(0, True)], 3)
+        b = Cube.from_literals([(0, True)], 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Cube.from_literals([(0, False)], 3)
+
+    def test_ordering_by_literal_count(self):
+        small = Cube.from_literals([(0, True)], 3)
+        big = Cube.from_literals([(0, True), (1, True)], 3)
+        assert small < big
+
+    def test_repr_round_readable(self):
+        c = Cube.from_literals([(1, True)], 3)
+        assert "b" in repr(c)

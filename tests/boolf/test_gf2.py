@@ -1,0 +1,97 @@
+"""Tests for GF(2) linear algebra on bitmask vectors."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.boolf.gf2 import (
+    dot,
+    in_span,
+    orthogonal_complement,
+    rank,
+    row_reduce,
+    span_members,
+)
+
+
+class TestDot:
+    def test_basic(self):
+        assert dot(0b101, 0b100) == 1
+        assert dot(0b101, 0b111) == 0
+        assert dot(0, 0b111) == 0
+
+
+class TestRowReduce:
+    def test_zero_vectors_dropped(self):
+        assert row_reduce([0, 0]) == []
+
+    def test_duplicates_collapse(self):
+        assert rank([0b11, 0b11, 0b11]) == 1
+
+    def test_echelon_unique_leads(self):
+        basis = row_reduce([0b110, 0b011, 0b101])
+        leads = [b.bit_length() - 1 for b in basis]
+        assert len(set(leads)) == len(basis)
+        # Reduced form: a lead bit appears in exactly one row.
+        for i, b in enumerate(basis):
+            for j, other in enumerate(basis):
+                if i != j:
+                    assert not (other >> (b.bit_length() - 1)) & 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_span_preserved(self, vectors):
+        basis = row_reduce(vectors)
+        # Every input vector is in the span of the basis...
+        for v in vectors:
+            assert in_span(v, basis)
+        # ...and every basis vector is a combination of inputs (checked
+        # via rank equality).
+        assert rank(vectors) == len(basis)
+        assert rank(list(vectors) + basis) == len(basis)
+
+
+class TestOrthogonalComplement:
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_dimension_and_orthogonality(self, vectors):
+        num_bits = 8
+        basis = row_reduce(vectors)
+        comp = orthogonal_complement(basis, num_bits)
+        assert len(comp) == num_bits - len(basis)
+        for c in comp:
+            for b in basis:
+                assert dot(c, b) == 0
+
+    def test_complement_of_empty_is_everything(self):
+        comp = orthogonal_complement([], 3)
+        assert len(comp) == 3
+        assert rank(comp) == 3
+
+    def test_complement_of_full_space_is_trivial(self):
+        comp = orthogonal_complement([0b001, 0b010, 0b100], 3)
+        assert comp == []
+
+    def test_double_complement_restores_space(self):
+        basis = row_reduce([0b1100, 0b0110])
+        double = orthogonal_complement(
+            orthogonal_complement(basis, 4), 4
+        )
+        assert sorted(double) == sorted(basis)
+
+
+class TestSpanMembers:
+    def test_member_count(self):
+        basis = row_reduce([0b01, 0b10])
+        assert sorted(span_members(basis)) == [0, 1, 2, 3]
+
+    def test_empty_basis(self):
+        assert span_members([]) == [0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_members_match_in_span(self, vectors):
+        basis = row_reduce(vectors)
+        members = set(span_members(basis))
+        assert len(members) == 1 << len(basis)
+        for m in range(64):
+            assert (m in members) == in_span(m, basis)

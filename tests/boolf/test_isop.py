@@ -1,0 +1,76 @@
+"""Tests for the Minato-Morreale ISOP computation."""
+
+import pytest
+from hypothesis import given
+
+from repro.boolf import TruthTable, isop, isop_interval
+from repro.boolf.primes import is_prime
+from tests.conftest import truthtables
+
+
+class TestIsop:
+    @given(truthtables(4))
+    def test_cover_equals_function(self, tt):
+        cover = isop(tt)
+        assert cover.to_truthtable() == tt
+
+    @given(truthtables(3))
+    def test_cover_is_irredundant(self, tt):
+        cover = isop(tt)
+        assert cover.is_irredundant()
+
+    @given(truthtables(3))
+    def test_cubes_are_primes(self, tt):
+        for cube in isop(tt).cubes:
+            assert is_prime(cube, tt)
+
+    def test_constant_zero(self):
+        assert isop(TruthTable.zeros(3)).num_products == 0
+
+    def test_constant_one(self):
+        cover = isop(TruthTable.ones(3))
+        assert cover.num_products == 1
+        assert cover.cubes[0].is_tautology()
+
+    def test_zero_vars(self):
+        assert isop(TruthTable.ones(0)).num_products == 1
+        assert isop(TruthTable.zeros(0)).num_products == 0
+
+    def test_single_variable(self):
+        cover = isop(TruthTable.variable(2, 4))
+        assert cover.num_products == 1
+        assert cover.cubes[0].num_literals == 1
+
+    def test_xor_needs_two_products(self):
+        xor = TruthTable.from_function(lambda b: b[0] ^ b[1], 2)
+        assert isop(xor).num_products == 2
+
+    def test_names_carried(self):
+        cover = isop(TruthTable.variable(0, 2), names=["x", "y"])
+        assert cover.to_string() == "x"
+
+
+class TestIsopInterval:
+    @given(truthtables(4), truthtables(4))
+    def test_cover_within_interval(self, a, b):
+        lower = a & b
+        upper = a | b
+        cover = isop_interval(lower, upper)
+        tt = cover.to_truthtable()
+        assert lower.implies(tt)
+        assert tt.implies(upper)
+
+    def test_dont_cares_reduce_products(self):
+        # f = minterms {0, 3}; dc {1, 2}: a single tautology cube suffices.
+        lower = TruthTable.from_minterms([0, 3], 2)
+        upper = TruthTable.ones(2)
+        cover = isop_interval(lower, upper)
+        assert cover.num_products == 1
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            isop_interval(TruthTable.ones(2), TruthTable.zeros(2))
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            isop_interval(TruthTable.zeros(2), TruthTable.ones(3))

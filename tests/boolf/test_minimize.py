@@ -1,0 +1,113 @@
+"""Tests for the two-level minimizer (the espresso stand-in)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+from repro.boolf import (
+    Cube,
+    TruthTable,
+    espresso_lite,
+    exact_min_sop,
+    isop,
+    minimize,
+    prime_implicants,
+)
+from tests.conftest import truthtables
+
+
+def brute_force_min_products(tt: TruthTable) -> int:
+    """Reference minimum cover size via exhaustive prime subsets."""
+    if tt.is_zero():
+        return 0
+    primes = prime_implicants(tt)
+    tables = [TruthTable.from_cube(p) for p in primes]
+    for k in range(1, len(primes) + 1):
+        for combo in itertools.combinations(range(len(primes)), k):
+            union = TruthTable.zeros(tt.num_vars)
+            for i in combo:
+                union = union | tables[i]
+            if union == tt:
+                return k
+    raise AssertionError("primes cannot cover the function")
+
+
+class TestMinimize:
+    @given(truthtables(4))
+    def test_result_realizes_function(self, tt):
+        assert minimize(tt).to_truthtable() == tt
+
+    @given(truthtables(3))
+    def test_exact_cardinality(self, tt):
+        cover = exact_min_sop(tt) if not tt.is_zero() else minimize(tt)
+        assert cover.num_products == brute_force_min_products(tt)
+
+    @given(truthtables(4))
+    def test_never_worse_than_isop(self, tt):
+        assert minimize(tt).num_products <= isop(tt).num_products
+
+    def test_constants(self):
+        assert minimize(TruthTable.zeros(3)).is_zero()
+        assert minimize(TruthTable.ones(3)).is_one()
+
+    def test_majority(self):
+        maj = TruthTable.from_function(lambda b: b[0] + b[1] + b[2] >= 2, 3)
+        cover = minimize(maj)
+        assert cover.num_products == 3
+        assert cover.degree == 2
+
+    def test_xor3(self):
+        xor = TruthTable.from_function(lambda b: b[0] ^ b[1] ^ b[2], 3)
+        cover = minimize(xor)
+        assert cover.num_products == 4  # XOR has no sharing in SOP
+        assert cover.degree == 3
+
+    def test_dont_cares_used(self):
+        on = TruthTable.from_minterms([0, 3], 2)
+        dc = TruthTable.from_minterms([1, 2], 2)
+        cover = minimize(on, dc)
+        assert cover.num_products == 1
+        assert cover.cubes[0].is_tautology()
+
+    def test_overlapping_dc_rejected(self):
+        tt = TruthTable.from_minterms([1], 2)
+        with pytest.raises(ValueError):
+            minimize(tt, tt)
+
+    def test_heuristic_mode(self):
+        tt = TruthTable.from_function(
+            lambda b: (b[0] and b[1]) or (b[2] and b[3]), 4
+        )
+        cover = minimize(tt, exact=False)
+        assert cover.to_truthtable() == tt
+
+    def test_names_propagate(self):
+        cover = minimize(TruthTable.variable(0, 2), names=["x", "y"])
+        assert cover.to_string() == "x"
+
+
+class TestEspressoLite:
+    @given(truthtables(4))
+    def test_expand_irredundant_preserves_function(self, tt):
+        base = isop(tt)
+        out = espresso_lite(base, tt)
+        assert out.to_truthtable() == tt
+
+    @given(truthtables(3))
+    def test_no_worse_than_input(self, tt):
+        base = isop(tt)
+        out = espresso_lite(base, tt)
+        assert out.num_products <= base.num_products
+
+    def test_expands_to_primes(self):
+        # Start from a minterm cover of f = a; espresso must expand to 'a'.
+        tt = TruthTable.from_cube(Cube.from_literals([(0, True)], 2))
+        from repro.boolf import Sop
+
+        minterm_cover = Sop(
+            [Cube.from_minterm(m, 2) for m in tt.onset()], 2
+        )
+        out = espresso_lite(minterm_cover, tt)
+        assert out.num_products == 1
+        assert out.cubes[0].num_literals == 1

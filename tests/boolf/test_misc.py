@@ -1,0 +1,71 @@
+"""Micro-tests for small helpers not covered elsewhere."""
+
+import pytest
+
+from repro.boolf import Cube, Sop, TruthTable
+from repro.boolf.cube import literal_name, parse_literal
+from repro.errors import DimensionError
+
+
+class TestLiteralName:
+    def test_default_alphabet(self):
+        assert literal_name(0, True) == "a"
+        assert literal_name(25, False) == "z'"
+
+    def test_beyond_alphabet(self):
+        assert literal_name(26, True) == "x26"
+        assert literal_name(30, False) == "x30'"
+
+    def test_custom_names(self):
+        assert literal_name(1, True, ["clk", "rst"]) == "rst"
+
+    def test_custom_names_fallback(self):
+        # Index beyond the provided names falls back to defaults.
+        assert literal_name(2, True, ["clk", "rst"]) == "c"
+
+
+class TestParseLiteral:
+    def test_plain(self):
+        assert parse_literal("a", ["a", "b"]) == (0, True)
+
+    def test_apostrophe(self):
+        assert parse_literal("b'", ["a", "b"]) == (1, False)
+
+    def test_tilde(self):
+        assert parse_literal("~a", ["a"]) == (0, False)
+
+    def test_double_negation(self):
+        assert parse_literal("~a'", ["a"]) == (0, True)
+
+    def test_unknown(self):
+        with pytest.raises(DimensionError):
+            parse_literal("q", ["a"])
+
+
+class TestSopNames:
+    def test_names_preserved_through_ops(self):
+        f = Sop([Cube.from_literals([(0, True)], 2)], 2, ["x", "y"])
+        assert f.absorbed().names == ["x", "y"]
+        assert f.sorted().names == ["x", "y"]
+        assert f.irredundant().names == ["x", "y"]
+
+    def test_one_and_zero_names(self):
+        assert Sop.one(2, ["x", "y"]).names == ["x", "y"]
+        assert Sop.zero(2, ["x", "y"]).names == ["x", "y"]
+
+
+class TestTruthTableEdges:
+    def test_zero_variable_tables(self):
+        t = TruthTable.ones(0)
+        assert t.is_one()
+        assert t.count_ones() == 1
+        # dual of constant 1 is constant 0 and vice versa
+        assert t.dual().is_zero()
+        assert TruthTable.zeros(0).dual().is_one()
+
+    def test_single_variable_dual(self):
+        v = TruthTable.variable(0, 1)
+        assert v.dual() == v  # a literal is self-dual
+
+    def test_support_of_constant(self):
+        assert TruthTable.ones(3).support() == []

@@ -1,0 +1,106 @@
+"""Tests for the SOP expression parser."""
+
+import pytest
+
+from repro.boolf import parse_sop
+from repro.errors import ParseError
+
+
+class TestBasicParsing:
+    def test_single_literal(self):
+        f = parse_sop("a")
+        assert f.num_products == 1
+        assert f.num_vars == 1
+
+    def test_juxtaposition(self):
+        f = parse_sop("abc")
+        assert f.num_products == 1
+        assert f.cubes[0].num_literals == 3
+
+    def test_sum_of_products(self):
+        f = parse_sop("ab + cd")
+        assert f.num_products == 2
+        assert f.num_vars == 4
+
+    def test_apostrophe_negation(self):
+        f = parse_sop("a'b")
+        assert (0, False) in f.literal_set()
+        assert (1, True) in f.literal_set()
+
+    def test_tilde_negation(self):
+        f = parse_sop("~ab", names=["a", "b"])
+        assert (0, False) in f.literal_set()
+
+    def test_bang_negation(self):
+        f = parse_sop("!a", names=["a"])
+        assert (0, False) in f.literal_set()
+
+    def test_double_negation(self):
+        f = parse_sop("~a'", names=["a"])
+        assert (0, True) in f.literal_set()
+
+    def test_constants(self):
+        assert parse_sop("0", names=["a"]).is_zero()
+        assert parse_sop("1", names=["a"]).is_one()
+
+    def test_paper_fig4(self):
+        f = parse_sop("cd + c'd' + abe + a'b'e'")
+        assert f.num_vars == 5
+        assert f.num_products == 4
+        assert f.degree == 3
+
+    def test_variable_order_is_alphabetical(self):
+        f = parse_sop("db + ca")
+        assert f.names == ["a", "b", "c", "d"]
+
+
+class TestExplicitNames:
+    def test_multichar_names(self):
+        f = parse_sop("sel * en + sel' * rst", names=["sel", "en", "rst"])
+        assert f.num_products == 2
+        assert f.num_vars == 3
+
+    def test_longest_match_wins(self):
+        f = parse_sop("ab * a", names=["a", "ab"])
+        assert (1, True) in f.literal_set()
+        assert (0, True) in f.literal_set()
+
+    def test_ampersand_and_dot_separators(self):
+        f = parse_sop("a & b", names=["a", "b"])
+        assert f.cubes[0].num_literals == 2
+        g = parse_sop("a.b", names=["a", "b"])
+        assert g.cubes[0].num_literals == 2
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_sop("")
+
+    def test_empty_product(self):
+        with pytest.raises(ParseError):
+            parse_sop("a + + b")
+
+    def test_unknown_variable(self):
+        with pytest.raises(ParseError):
+            parse_sop("x", names=["a"])
+
+    def test_contradiction(self):
+        with pytest.raises(ParseError):
+            parse_sop("aa'")
+
+    def test_dangling_negation(self):
+        with pytest.raises(ParseError):
+            parse_sop("a + ~", names=["a"])
+
+    def test_uppercase_not_a_default_variable(self):
+        with pytest.raises(ParseError):
+            parse_sop("A + b")
+
+
+class TestRoundTrip:
+    def test_to_string_parse_round_trip(self):
+        for text in ["ab + c'd", "a'b'c' + abc", "a + b + c"]:
+            f = parse_sop(text)
+            g = parse_sop(f.to_string())
+            assert f.equivalent(g)

@@ -1,0 +1,90 @@
+"""Tests for the PLA reader/writer."""
+
+import pytest
+
+from repro.boolf import Sop, parse_sop, read_pla, write_pla
+from repro.errors import ParseError
+
+SAMPLE = """\
+# two-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+011 01
+11- 11
+.e
+"""
+
+
+class TestReader:
+    def test_header(self):
+        pla = read_pla(SAMPLE)
+        assert pla.num_inputs == 3
+        assert pla.num_outputs == 2
+        assert pla.input_names == ["a", "b", "c"]
+        assert pla.output_names == ["f", "g"]
+
+    def test_onsets(self):
+        pla = read_pla(SAMPLE)
+        f = pla.output_sop(0)
+        g = pla.output_sop(1)
+        assert f.equivalent(parse_sop("ac' + ab", names=["a", "b", "c"]))
+        assert g.equivalent(parse_sop("a'bc + ab", names=["a", "b", "c"]))
+
+    def test_truthtable(self):
+        pla = read_pla(SAMPLE)
+        tt = pla.output_truthtable(0)
+        assert tt.evaluate(0b001)  # a=1,b=0,c=0
+        assert not tt.evaluate(0b100)
+
+    def test_dc_outputs(self):
+        pla = read_pla(".i 2\n.o 1\n11 -\n00 1\n.e\n")
+        dc = pla.output_dc_truthtable(0)
+        assert dc.evaluate(0b11)
+        assert not dc.evaluate(0b00)
+
+    def test_default_names(self):
+        pla = read_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert pla.input_names == ["x0", "x1"]
+        assert pla.output_names == ["f0"]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            read_pla("11 1\n")
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ParseError):
+            read_pla(".i 3\n.o 1\n11 1\n.e\n")
+
+    def test_bad_char_rejected(self):
+        with pytest.raises(ParseError):
+            read_pla(".i 2\n.o 1\n1x 1\n.e\n")
+
+    def test_unsupported_directive_rejected(self):
+        with pytest.raises(ParseError):
+            read_pla(".i 2\n.o 1\n.mv 4\n11 1\n.e\n")
+
+    def test_comments_ignored(self):
+        pla = read_pla(".i 1\n.o 1\n# hi\n1 1 # inline\n.e\n")
+        assert pla.output_truthtable(0).evaluate(1)
+
+
+class TestWriter:
+    def test_round_trip(self):
+        f = parse_sop("ab' + c", names=["a", "b", "c"])
+        g = parse_sop("a'c", names=["a", "b", "c"])
+        text = write_pla([f, g], output_names=["f", "g"])
+        pla = read_pla(text)
+        assert pla.output_sop(0).equivalent(f)
+        assert pla.output_sop(1).equivalent(g)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            write_pla([])
+
+    def test_mixed_universe_rejected(self):
+        with pytest.raises(ParseError):
+            write_pla([Sop.zero(2), Sop.zero(3)])

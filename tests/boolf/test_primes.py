@@ -1,0 +1,96 @@
+"""Tests for Quine-McCluskey prime generation."""
+
+import pytest
+from hypothesis import given
+
+from repro.boolf import Cube, TruthTable, prime_implicants, is_prime
+from tests.conftest import truthtables
+
+
+def brute_force_primes(tt: TruthTable) -> set[Cube]:
+    """Reference: enumerate all cubes, keep the primes."""
+    n = tt.num_vars
+    implicants = []
+    for pos in range(1 << n):
+        for neg in range(1 << n):
+            if pos & neg:
+                continue
+            cube = Cube(pos, neg, n)
+            if not tt.is_zero() and tt.cube_is_implicant(cube):
+                implicants.append(cube)
+    primes = set()
+    for c in implicants:
+        if not any(
+            o != c and o.contains(c) for o in implicants
+        ):
+            primes.add(c)
+    return primes
+
+
+class TestPrimes:
+    @given(truthtables(3))
+    def test_matches_brute_force(self, tt):
+        got = set(prime_implicants(tt))
+        want = brute_force_primes(tt) if not tt.is_zero() else set()
+        assert got == want
+
+    def test_constant_one(self):
+        primes = prime_implicants(TruthTable.ones(3))
+        assert primes == [Cube.top(3)]
+
+    def test_constant_zero(self):
+        assert prime_implicants(TruthTable.zeros(3)) == []
+
+    def test_xor2(self):
+        xor = TruthTable.from_function(lambda b: b[0] ^ b[1], 2)
+        primes = prime_implicants(xor)
+        assert len(primes) == 2
+        assert all(p.num_literals == 2 for p in primes)
+
+    def test_classic_qm_example(self):
+        # f(a,b,c,d) with minterms 4,8,10,11,12,15 and dc 9,14 — the
+        # canonical QM textbook instance; primes: bd', ab', ac, a'bc'... of
+        # which the cover needs bd'+ab'+ac or bd'+ac+a'bc'd'.
+        on = TruthTable.from_minterms([4, 8, 10, 11, 12, 15], 4)
+        dc = TruthTable.from_minterms([9, 14], 4)
+        primes = prime_implicants(on, dc)
+        # With the dc set, every onset minterm is covered by some prime of
+        # the extended function.
+        union = TruthTable.zeros(4)
+        for p in primes:
+            union = union | TruthTable.from_cube(p)
+        assert on.implies(union)
+        assert union.implies(on | dc)
+
+    def test_overlapping_on_dc_rejected(self):
+        tt = TruthTable.from_minterms([1], 2)
+        with pytest.raises(ValueError):
+            prime_implicants(tt, tt)
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prime_implicants(TruthTable.zeros(2), TruthTable.zeros(3))
+
+    @given(truthtables(4))
+    def test_primes_cover_function(self, tt):
+        primes = prime_implicants(tt)
+        union = TruthTable.zeros(4)
+        for p in primes:
+            union = union | TruthTable.from_cube(p)
+        assert union == tt
+
+
+class TestIsPrime:
+    def test_prime_cube(self):
+        tt = TruthTable.from_cube(Cube.from_literals([(0, True)], 3))
+        assert is_prime(Cube.from_literals([(0, True)], 3), tt)
+
+    def test_non_prime_expandable(self):
+        tt = TruthTable.from_cube(Cube.from_literals([(0, True)], 3))
+        assert not is_prime(
+            Cube.from_literals([(0, True), (1, True)], 3), tt
+        )
+
+    def test_non_implicant(self):
+        tt = TruthTable.zeros(3)
+        assert not is_prime(Cube.top(3), tt)

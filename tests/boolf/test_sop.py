@@ -1,0 +1,117 @@
+"""Unit and property tests for repro.boolf.sop."""
+
+import pytest
+from hypothesis import given
+
+from repro.boolf import Cube, Sop, TruthTable, parse_sop
+from repro.errors import DimensionError
+from tests.conftest import sops, truthtables
+
+
+class TestBasics:
+    def test_zero_and_one(self):
+        assert Sop.zero(3).is_zero()
+        assert Sop.one(3).is_one()
+        assert Sop.one(3).to_truthtable().is_one()
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            Sop([Cube.top(2)], 3)
+
+    def test_num_products_and_degree(self):
+        f = parse_sop("ab + c")
+        assert f.num_products == 2
+        assert f.degree == 2
+        assert f.min_degree == 1
+        assert f.num_literals == 3
+
+    def test_literal_set(self):
+        f = parse_sop("ab' + a'c")
+        assert f.literal_set() == {(0, True), (1, False), (0, False), (2, True)}
+
+    def test_support(self):
+        f = parse_sop("ac", names=["a", "b", "c"])
+        assert f.support() == [0, 2]
+
+    @given(sops(4))
+    def test_evaluate_matches_truthtable(self, f):
+        tt = f.to_truthtable()
+        for m in range(16):
+            assert f.evaluate(m) == tt.evaluate(m)
+
+
+class TestRefinement:
+    def test_absorbed_removes_contained(self):
+        f = parse_sop("a + ab")
+        assert f.absorbed().num_products == 1
+
+    @given(sops(4))
+    def test_absorbed_preserves_function(self, f):
+        assert f.absorbed().equivalent(f)
+
+    def test_irredundant_removes_consensus_covered(self):
+        # ab + a'c + bc : bc is redundant (consensus of the others)
+        f = parse_sop("ab + a'c + bc")
+        irr = f.irredundant()
+        assert irr.num_products == 2
+        assert irr.equivalent(f)
+
+    @given(sops(4))
+    def test_irredundant_preserves_function(self, f):
+        irr = f.irredundant()
+        assert irr.equivalent(f)
+        assert irr.is_irredundant()
+
+    def test_sorted_is_canonical(self):
+        f = parse_sop("ab + c")
+        g = parse_sop("c + ab")
+        assert f.sorted().cubes == g.sorted().cubes
+
+
+class TestDual:
+    def test_dual_of_and(self):
+        f = parse_sop("ab")
+        assert f.dual().equivalent(parse_sop("a + b"))
+
+    def test_dual_of_or(self):
+        f = parse_sop("a + b")
+        assert f.dual().equivalent(parse_sop("ab"))
+
+    @given(sops(4, max_products=4))
+    def test_dual_involution(self, f):
+        tt = f.to_truthtable()
+        if tt.is_zero() or tt.is_one():
+            return
+        assert f.dual().dual().equivalent(f)
+
+    def test_paper_fig4_dual_products(self):
+        """Fig. 4 function: DP bound is 6x4, so the dual has 6 products."""
+        f = parse_sop("cd + c'd' + abe + a'b'e'")
+        assert f.dual().num_products == 6
+
+
+class TestOperators:
+    def test_or_concatenates(self):
+        f = parse_sop("ab", names=["a", "b", "c"])
+        g = parse_sop("c", names=["a", "b", "c"])
+        assert (f | g).num_products == 2
+
+    def test_restricted_to(self):
+        f = parse_sop("ab + c + a'b'")
+        sub = f.restricted_to([0, 2])
+        assert sub.num_products == 2
+
+    def test_len_getitem_iter(self):
+        f = parse_sop("ab + c")
+        assert len(f) == 2
+        assert f[0] in list(f)
+
+    def test_to_string_zero(self):
+        assert Sop.zero(2).to_string() == "0"
+
+    def test_equivalent_different_universe(self):
+        assert not Sop.zero(2).equivalent(Sop.zero(3))
+
+    def test_hash_eq(self):
+        f, g = parse_sop("ab"), parse_sop("ab")
+        assert f == g and hash(f) == hash(g)

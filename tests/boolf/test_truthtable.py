@@ -1,0 +1,172 @@
+"""Unit and property tests for repro.boolf.truthtable."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.boolf import Cube, TruthTable
+from repro.errors import DimensionError
+from tests.conftest import cubes, truthtables
+
+
+class TestBuilders:
+    def test_zeros_ones(self):
+        assert TruthTable.zeros(3).is_zero()
+        assert TruthTable.ones(3).is_one()
+        assert not TruthTable.zeros(3).is_one()
+
+    def test_variable_projection(self):
+        v = TruthTable.variable(1, 3)
+        for m in range(8):
+            assert v.evaluate(m) == bool(m >> 1 & 1)
+
+    def test_from_minterms(self):
+        tt = TruthTable.from_minterms([0, 3], 2)
+        assert tt.onset() == [0, 3]
+        assert tt.offset() == [1, 2]
+
+    def test_from_function(self):
+        tt = TruthTable.from_function(lambda bits: bits[0] ^ bits[1], 2)
+        assert tt.onset() == [1, 2]
+
+    @given(cubes(4))
+    def test_from_cube_matches_evaluate(self, c):
+        tt = TruthTable.from_cube(c)
+        for m in range(16):
+            assert tt.evaluate(m) == c.evaluate(m)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DimensionError):
+            TruthTable(np.zeros(5, dtype=bool), 2)
+
+    def test_excessive_vars_rejected(self):
+        with pytest.raises(DimensionError):
+            TruthTable.zeros(30)
+
+
+class TestCofactors:
+    @given(truthtables(4))
+    def test_shannon_expansion(self, tt):
+        for var in range(4):
+            c0 = tt.restrict(var, False)
+            c1 = tt.restrict(var, True)
+            x = TruthTable.variable(var, 4)
+            recon = (x & c1) | (~x & c0)
+            assert recon == tt
+
+    def test_cofactor_drops_variable(self):
+        tt = TruthTable.variable(0, 3)
+        assert tt.cofactor(0, True).is_one()
+        assert tt.cofactor(0, False).is_zero()
+
+    @given(truthtables(4))
+    def test_depends_on_consistent_with_support(self, tt):
+        sup = tt.support()
+        for v in range(4):
+            assert (v in sup) == tt.depends_on(v)
+
+    def test_cofactor_out_of_range(self):
+        with pytest.raises(DimensionError):
+            TruthTable.zeros(2).cofactor(5, True)
+
+
+class TestDuality:
+    @given(truthtables(4))
+    def test_dual_involution(self, tt):
+        assert tt.dual().dual() == tt
+
+    @given(truthtables(4))
+    def test_dual_definition(self, tt):
+        d = tt.dual()
+        full = (1 << 4) - 1
+        for m in range(16):
+            assert d.evaluate(m) == (not tt.evaluate(full ^ m))
+
+    def test_self_dual_majority(self):
+        maj = TruthTable.from_function(lambda b: b[0] + b[1] + b[2] >= 2, 3)
+        assert maj.dual() == maj
+
+    def test_dual_of_and_is_or(self):
+        a, b = TruthTable.variable(0, 2), TruthTable.variable(1, 2)
+        assert (a & b).dual() == (a | b)
+
+
+class TestAlgebra:
+    @given(truthtables(3), truthtables(3))
+    def test_de_morgan(self, f, g):
+        assert ~(f & g) == (~f | ~g)
+        assert ~(f | g) == (~f & ~g)
+
+    @given(truthtables(3), truthtables(3))
+    def test_implies(self, f, g):
+        assert (f & g).implies(f)
+        assert f.implies(f | g)
+
+    @given(truthtables(3))
+    def test_xor_self_is_zero(self, f):
+        assert (f ^ f).is_zero()
+
+    def test_sub_is_and_not(self):
+        f = TruthTable.from_minterms([0, 1, 2], 2)
+        g = TruthTable.from_minterms([1], 2)
+        assert (f - g).onset() == [0, 2]
+
+    def test_universe_mismatch(self):
+        with pytest.raises(DimensionError):
+            TruthTable.zeros(2) & TruthTable.zeros(3)
+
+
+class TestStructure:
+    def test_lift_preserves_function(self):
+        tt = TruthTable.variable(0, 2)
+        lifted = tt.lift(4)
+        for m in range(16):
+            assert lifted.evaluate(m) == bool(m & 1)
+
+    def test_lift_shrink_rejected(self):
+        with pytest.raises(DimensionError):
+            TruthTable.zeros(3).lift(2)
+
+    def test_permute_swap(self):
+        tt = TruthTable.variable(0, 2)
+        swapped = tt.permute([1, 0])
+        assert swapped == TruthTable.variable(1, 2)
+
+    def test_permute_invalid(self):
+        with pytest.raises(DimensionError):
+            TruthTable.zeros(2).permute([0, 0])
+
+    @given(truthtables(3))
+    def test_permute_identity(self, tt):
+        assert tt.permute([0, 1, 2]) == tt
+
+    def test_cube_is_implicant(self):
+        tt = TruthTable.from_minterms([2, 3], 2)  # f = b
+        assert tt.cube_is_implicant(Cube.from_literals([(1, True)], 2))
+        assert not tt.cube_is_implicant(Cube.from_literals([(0, True)], 2))
+
+    @given(truthtables(3))
+    def test_key_is_stable(self, tt):
+        assert tt.key() == tt.key()
+        copy = TruthTable(tt.values.copy(), tt.num_vars)
+        assert copy.key() == tt.key()
+
+    def test_count_ones(self):
+        assert TruthTable.from_minterms([1, 5, 7], 3).count_ones() == 3
+
+    def test_compose_complement_inputs(self):
+        tt = TruthTable.variable(0, 2)
+        comp = tt.compose_complement_inputs()
+        for m in range(4):
+            assert comp.evaluate(m) == tt.evaluate(3 ^ m)
+
+    def test_random_density(self, rng):
+        dense = TruthTable.random(8, rng, density=0.9)
+        sparse = TruthTable.random(8, rng, density=0.1)
+        assert dense.count_ones() > sparse.count_ones()
+
+    def test_iter_and_repr(self):
+        tt = TruthTable.from_minterms([1], 2)
+        assert list(tt) == [False, True, False, False]
+        assert "TruthTable" in repr(tt)
+        assert "ones" in repr(TruthTable.zeros(7))

@@ -1,0 +1,68 @@
+"""Tests for the baseline algorithms ([6] exact/approx, [11], [9]-like)."""
+
+import pytest
+
+from repro.core import (
+    approx_restricted,
+    decompose_pcircuit,
+    exact_search,
+    heuristic_candidates,
+    make_spec,
+    synthesize,
+)
+
+EXPRS = ["ab + a'b'", "ab + cd", "a + bc"]
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [exact_search, approx_restricted, heuristic_candidates, decompose_pcircuit],
+    ids=["exact", "approx", "heuristic", "pcircuit"],
+)
+class TestAllBaselines:
+    @pytest.mark.parametrize("expr", EXPRS)
+    def test_verified_solutions(self, algorithm, expr, fast_options):
+        result = algorithm(expr, options=fast_options)
+        assert result.assignment.realizes(result.spec.tt)
+
+    def test_trivial_constant(self, algorithm, fast_options):
+        result = algorithm("1", name="one", options=fast_options)
+        assert result.size == 1
+        assert result.method != "janus"
+
+
+class TestRelativeQuality:
+    def test_janus_not_worse_than_exact_on_small(self, fast_options):
+        """With ample budget both reach the optimum on easy functions."""
+        for expr in EXPRS:
+            j = synthesize(expr, options=fast_options)
+            e = exact_search(expr, options=fast_options)
+            assert j.size <= e.size
+
+    def test_approx_not_better_than_exact(self, fast_options):
+        """The restricted encoding can only shrink the solution set."""
+        for expr in EXPRS:
+            a = approx_restricted(expr, options=fast_options)
+            e = exact_search(expr, options=fast_options)
+            assert a.size >= e.size
+
+    def test_heuristic_within_bounds(self, fast_options):
+        for expr in EXPRS:
+            h = heuristic_candidates(expr, options=fast_options)
+            assert h.size <= h.initial_upper_bound
+
+    def test_methods_labelled(self, fast_options):
+        assert exact_search("ab", options=fast_options).method == "exact[6]"
+        assert approx_restricted("ab", options=fast_options).method == "approx[6]"
+        assert (
+            heuristic_candidates("ab", options=fast_options).method
+            == "heuristic[11]"
+        )
+        assert (
+            decompose_pcircuit("ab + cd", options=fast_options).method
+            == "pcircuit[9]"
+        )
+
+    def test_exact_uses_old_bounds_only(self, fast_options):
+        result = exact_search("ab + a'b'", options=fast_options)
+        assert set(result.upper_bounds) <= {"dp", "ps", "dps"}

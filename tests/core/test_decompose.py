@@ -1,0 +1,58 @@
+"""Tests for the DS (divide-and-synthesize) bound."""
+
+import pytest
+
+from repro.boolf import parse_sop
+from repro.core import make_spec, partition_products, ub_ds
+from repro.core.janus import JanusOptions
+from repro.errors import SynthesisError
+
+
+class TestPartition:
+    def test_balanced_counts(self):
+        cover = parse_sop("ab + cd + ef + gh + a'c'")
+        g, h = partition_products(cover)
+        assert abs(g.num_products - h.num_products) <= 1
+        assert g.num_products + h.num_products == cover.num_products
+
+    def test_union_preserves_function(self):
+        cover = parse_sop("ab + cd + a'd' + bc")
+        g, h = partition_products(cover)
+        assert (g | h).equivalent(cover)
+
+    def test_literal_balance(self):
+        cover = parse_sop("abcde + a + b + c")
+        g, h = partition_products(cover)
+        # The big product must not be paired with everything else.
+        assert {g.num_products, h.num_products} == {2}
+
+    def test_single_product_rejected(self):
+        with pytest.raises(SynthesisError):
+            partition_products(parse_sop("ab"))
+
+
+class TestUbDs:
+    def test_fig4_gives_3x5(self, fast_options):
+        """Paper: DS finds a 3x5 lattice on the Fig. 4 function."""
+        spec = make_spec("cd + c'd' + abe + a'b'e'")
+        result = ub_ds(spec, fast_options)
+        assert result.assignment.realizes(spec.tt)
+        assert result.size == 15
+
+    @pytest.mark.parametrize(
+        "expr", ["ab + a'b'", "ab + cd", "ab + bc + cd", "abc + a'b'c'"]
+    )
+    def test_ds_verifies(self, expr, fast_options):
+        spec = make_spec(expr)
+        result = ub_ds(spec, fast_options)
+        assert result.assignment.realizes(spec.tt)
+
+    def test_ds_needs_two_products(self, fast_options):
+        with pytest.raises(SynthesisError):
+            ub_ds(make_spec("abc"), fast_options)
+
+    def test_ds_recursion_bounded(self):
+        # ds_depth=0 must strip "ds" from sub-options entirely.
+        options = JanusOptions(ds_depth=0)
+        sub = options.for_subproblems()
+        assert "ds" not in sub.ub_methods

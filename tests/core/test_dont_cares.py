@@ -1,0 +1,114 @@
+"""Tests for the don't-care extension (incompletely specified targets).
+
+The paper synthesizes completely specified functions; this library also
+accepts an interval [on, on|dc].  Key facts verified here:
+
+* don't-cares can only help: the solution is never larger than the
+  completely-specified one, and often strictly smaller;
+* every emitted lattice realizes a function inside the interval;
+* the encoder drops constraints on dc entries (smaller CNFs).
+"""
+
+import pytest
+
+from repro.boolf import TruthTable
+from repro.core import (
+    EncodeOptions,
+    JanusOptions,
+    TargetSpec,
+    encode_lm,
+    solve_lm,
+    synthesize,
+)
+
+OPTIONS = JanusOptions(max_conflicts=20_000)
+
+
+def xor3_with_dc():
+    """XOR3 with half its minterms free: collapses to something tiny."""
+    on = TruthTable.from_function(lambda b: b[0] ^ b[1] ^ b[2], 3)
+    dc = ~on  # everything not asserted is free
+    # on and dc overlap nowhere but dc covers the offset completely: any
+    # function above XOR3 is fine — including constant 1.
+    return on, dc
+
+
+class TestSpec:
+    def test_interval_minimization(self):
+        on, dc = xor3_with_dc()
+        spec = TargetSpec.from_truthtable(on, name="xor3dc", dc=dc)
+        spec.validate()
+        assert spec.isop.num_products == 1  # constant 1 is admissible
+        assert spec.upper.is_one()
+
+    def test_accepts(self):
+        on = TruthTable.from_minterms([1, 2], 2)
+        dc = TruthTable.from_minterms([3], 2)
+        spec = TargetSpec.from_truthtable(on, dc=dc)
+        assert spec.accepts(on)
+        assert spec.accepts(on | dc)
+        assert not spec.accepts(TruthTable.zeros(2))
+
+    def test_empty_dc_normalized_away(self):
+        on = TruthTable.from_minterms([1], 2)
+        spec = TargetSpec.from_truthtable(on, dc=TruthTable.zeros(2))
+        assert spec.dc is None
+
+
+class TestSynthesis:
+    def test_dc_never_hurts(self):
+        on = TruthTable.from_function(lambda b: b[0] ^ b[1], 2)
+        dc = TruthTable.from_minterms([0], 2)
+        full = synthesize(TargetSpec.from_truthtable(on), options=OPTIONS)
+        relaxed = synthesize(
+            TargetSpec.from_truthtable(on, dc=dc), options=OPTIONS
+        )
+        assert relaxed.size <= full.size
+        assert (on - relaxed.assignment.realized_truthtable()).is_zero()
+
+    def test_solution_within_interval(self):
+        on = TruthTable.from_minterms([1, 4, 7], 3)
+        dc = TruthTable.from_minterms([2, 5], 3)
+        spec = TargetSpec.from_truthtable(on, name="dc3", dc=dc)
+        result = synthesize(spec, options=OPTIONS)
+        realized = result.assignment.realized_truthtable()
+        assert on.implies(realized)
+        assert realized.implies(on | dc)
+
+    def test_fully_free_collapses_to_constant(self):
+        on, dc = xor3_with_dc()
+        spec = TargetSpec.from_truthtable(on, dc=dc)
+        result = synthesize(spec, options=OPTIONS)
+        assert result.size == 1  # constant 1 suffices
+
+    def test_solve_lm_interval_verified(self):
+        on = TruthTable.from_minterms([3], 2)  # ab
+        dc = TruthTable.from_minterms([1, 2], 2)
+        spec = TargetSpec.from_truthtable(on, dc=dc)
+        outcome = solve_lm(spec, 1, 1, OPTIONS)
+        assert outcome.status == "sat"  # a single switch mapped to a or b
+        assert spec.accepts(outcome.assignment.realized_truthtable())
+
+
+class TestEncoding:
+    def test_dc_entries_shrink_the_cnf(self):
+        on = TruthTable.from_minterms([1, 2], 3)
+        dc = TruthTable.from_minterms([4, 5, 6, 7], 3)
+        tight = TargetSpec.from_truthtable(on)
+        loose = TargetSpec.from_truthtable(on, dc=dc)
+        enc_tight = encode_lm(tight, 2, 3, "primal", EncodeOptions())
+        enc_loose = encode_lm(loose, 2, 3, "primal", EncodeOptions())
+        assert enc_loose.cnf.num_clauses <= enc_tight.cnf.num_clauses
+
+    def test_both_sides_verified_with_dc(self):
+        from repro.sat import solve_cnf
+
+        on = TruthTable.from_minterms([1, 6], 3)
+        dc = TruthTable.from_minterms([7], 3)
+        spec = TargetSpec.from_truthtable(on, dc=dc)
+        for side in ("primal", "dual"):
+            enc = encode_lm(spec, 2, 3, side, EncodeOptions())
+            result = solve_cnf(enc.cnf, max_conflicts=50_000)
+            if result.is_sat:
+                realized = enc.decode(result).realized_truthtable()
+                assert on.implies(realized) and realized.implies(on | dc)

@@ -1,0 +1,145 @@
+"""Tests for the LM SAT encoder: solutions decode to verified lattices."""
+
+import pytest
+
+from repro.core import EncodeOptions, best_encoding, encode_lm, make_spec
+from repro.errors import EncodingError
+from repro.sat import solve_cnf
+
+
+def solve_side(spec, rows, cols, side, options=EncodeOptions()):
+    enc = encode_lm(spec, rows, cols, side, options)
+    assert enc.cnf is not None
+    result = solve_cnf(enc.cnf, max_conflicts=50_000)
+    return enc, result
+
+
+class TestPrimalEncoding:
+    def test_sat_and_verified(self):
+        spec = make_spec("ab + a'b'")
+        enc, result = solve_side(spec, 2, 2, "primal")
+        assert result.is_sat
+        la = enc.decode(result)
+        assert la.realizes(spec.tt)
+
+    def test_unsat_when_too_small(self):
+        # f needs 2 distinct products; a 2x1 lattice has a single path.
+        spec = make_spec("ab + a'b'")
+        enc, result = solve_side(spec, 2, 1, "primal")
+        assert result.is_unsat
+
+    def test_fig1_3x3_realization(self):
+        """Paper Fig. 1(c): the Fig. 1 function fits on 3x3.
+
+        Reconstruction note: the paper's TL set {a,a',b,b',c,d,d',0,1}
+        lacks c', so the second product keeps c positive.  (The fully
+        complemented abcd + a'b'c'd' is provably NOT 3x3-realizable: every
+        length->=4 path in a 3x3 lattice crosses the centre switch, forcing
+        the two 4-literal products to share a literal.)
+        """
+        spec = make_spec("abcd + a'b'cd'")
+        enc, result = solve_side(spec, 3, 3, "primal")
+        assert result.is_sat
+        assert enc.decode(result).realizes(spec.tt)
+
+    def test_fully_complemented_pair_not_3x3_realizable(self):
+        spec = make_spec("abcd + a'b'c'd'")
+        for side in ("primal", "dual"):
+            _, result = solve_side(spec, 3, 3, side)
+            assert result.is_unsat
+
+    def test_row_facts_do_not_change_satisfiability(self):
+        spec = make_spec("ab + a'c")
+        for rows, cols in [(2, 2), (2, 3), (3, 2)]:
+            with_facts = solve_side(
+                spec, rows, cols, "primal", EncodeOptions(row_facts=True)
+            )[1].status
+            without = solve_side(
+                spec, rows, cols, "primal", EncodeOptions(row_facts=False)
+            )[1].status
+            assert with_facts == without
+
+    def test_degree_constraints_preserve_known_solutions(self):
+        spec = make_spec("abcd + a'b'c'd'")
+        for flag in (True, False):
+            enc, result = solve_side(
+                spec, 4, 2, "primal", EncodeOptions(degree_constraints=flag)
+            )
+            assert result.is_sat
+            assert enc.decode(result).realizes(spec.tt)
+
+
+class TestDualEncoding:
+    def test_dual_side_sat_and_verified(self):
+        spec = make_spec("ab + a'b'")
+        enc, result = solve_side(spec, 2, 2, "dual")
+        assert result.is_sat
+        la = enc.decode(result)
+        # The decoded grid must realize f between top and bottom plates.
+        assert la.realizes(spec.tt)
+
+    @pytest.mark.parametrize("expr", ["ab + a'c", "a + bc", "ab + cd"])
+    def test_dual_side_decodes_with_constants(self, expr):
+        """Force the dual side on lattices with slack so constants appear;
+        the constant-flip in decode must keep the TB function correct."""
+        spec = make_spec(expr)
+        enc, result = solve_side(spec, 3, 3, "dual")
+        assert result.is_sat
+        assert enc.decode(result).realizes(spec.tt)
+
+    def test_sides_agree_on_unsat(self):
+        spec = make_spec("ab + a'b'")
+        _, primal = solve_side(spec, 2, 1, "primal")
+        _, dual = solve_side(spec, 2, 1, "dual")
+        assert primal.is_unsat and dual.is_unsat
+
+
+class TestBestEncoding:
+    def test_picks_smaller_complexity(self):
+        spec = make_spec("ab + a'b'")
+        chosen, built = best_encoding(spec, 2, 2)
+        assert chosen is not None
+        complexities = [e.complexity for e in built if e.cnf is not None]
+        assert chosen.complexity == min(complexities)
+
+    def test_single_side_selection(self):
+        spec = make_spec("ab")
+        chosen, built = best_encoding(spec, 2, 1, sides=("primal",))
+        assert chosen is not None and chosen.side == "primal"
+        assert len(built) == 1
+
+    def test_unknown_side_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_lm(make_spec("a"), 1, 1, side="sideways")
+
+    def test_too_big_marker(self):
+        spec = make_spec("ab + a'b'")
+        enc = encode_lm(spec, 6, 6, "primal", EncodeOptions(max_products=10))
+        assert enc.too_big
+        assert enc.cnf is None
+
+
+class TestEncodingShape:
+    def test_mapping_variables_exactly_one(self):
+        spec = make_spec("ab + a'b'")
+        enc, result = solve_side(spec, 2, 2, "primal")
+        assert result.is_sat
+        model = result.model
+        for cell in range(4):
+            mapped = [
+                j
+                for j in range(len(enc.tl))
+                if model[enc.mapping_vars[(cell, j)] - 1]
+            ]
+            assert len(mapped) == 1
+
+    def test_tl_contains_cover_literals_and_constants(self):
+        spec = make_spec("ab + a'b'")
+        enc = encode_lm(spec, 2, 2, "primal")
+        strings = {e.to_string(spec.name_list()) for e in enc.tl}
+        assert {"a", "b", "a'", "b'", "0", "1"} <= strings
+
+    def test_complexity_positive(self):
+        spec = make_spec("ab + a'b'")
+        enc = encode_lm(spec, 2, 2, "primal")
+        assert enc.complexity > 0

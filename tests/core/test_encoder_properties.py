@@ -1,0 +1,72 @@
+"""Property tests: the synthesis pipeline on random functions.
+
+Hypothesis drives random 3-variable functions through solve_lm and the
+full JANUS driver; every SAT answer must decode to a verified lattice and
+every final result must respect the bound sandwich.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.boolf import TruthTable
+from repro.core import (
+    EncodeOptions,
+    JanusOptions,
+    TargetSpec,
+    encode_lm,
+    solve_lm,
+    synthesize,
+)
+from repro.sat import solve_cnf
+from tests.conftest import truthtables
+
+_FAST = JanusOptions(max_conflicts=10_000)
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _spec_of(tt: TruthTable) -> TargetSpec | None:
+    if tt.is_zero() or tt.is_one():
+        return None
+    return TargetSpec.from_truthtable(tt, name="prop")
+
+
+@_SETTINGS
+@given(truthtables(3))
+def test_synthesize_random_functions(tt):
+    spec = _spec_of(tt)
+    if spec is None:
+        return
+    result = synthesize(spec, options=_FAST)
+    assert result.assignment.realizes(tt)
+    assert result.initial_lower_bound <= result.size
+    assert result.size <= result.initial_upper_bound
+
+
+@_SETTINGS
+@given(truthtables(3))
+def test_lm_on_3x3_decodes_verified(tt):
+    spec = _spec_of(tt)
+    if spec is None:
+        return
+    outcome = solve_lm(spec, 3, 3, _FAST)
+    if outcome.status == "sat":
+        assert outcome.assignment.realizes(tt)
+
+
+@_SETTINGS
+@given(truthtables(3))
+def test_primal_dual_encodings_agree(tt):
+    spec = _spec_of(tt)
+    if spec is None:
+        return
+    statuses = {}
+    for side in ("primal", "dual"):
+        enc = encode_lm(spec, 2, 3, side, EncodeOptions())
+        result = solve_cnf(enc.cnf, max_conflicts=50_000)
+        statuses[side] = result.status
+        if result.is_sat:
+            assert enc.decode(result).realizes(tt)
+    assert statuses["primal"] == statuses["dual"]

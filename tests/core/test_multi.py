@@ -1,0 +1,58 @@
+"""Tests for JANUS-MF (multiple functions on one lattice)."""
+
+import pytest
+
+from repro.core import make_spec, merge_straightforward, synthesize_multi
+from repro.errors import SynthesisError
+
+EXPRS = ["ab + a'b'", "ac", "b + c"]
+
+
+class TestStraightforward:
+    def test_merge_verifies_all_outputs(self, fast_options):
+        specs = [make_spec(e, name=f"o{i}") for i, e in enumerate(EXPRS)]
+        result = merge_straightforward(specs, fast_options)
+        assert result.verify()
+        assert len(result.column_ranges) == 3
+
+    def test_bands_are_disjoint(self, fast_options):
+        specs = [make_spec(e, name=f"o{i}") for i, e in enumerate(EXPRS)]
+        result = merge_straightforward(specs, fast_options)
+        for (s1, e1), (s2, e2) in zip(
+            result.column_ranges, result.column_ranges[1:]
+        ):
+            assert e1 < s2  # isolation column in between
+
+    def test_empty_rejected(self, fast_options):
+        with pytest.raises(SynthesisError):
+            merge_straightforward([], fast_options)
+
+
+class TestJanusMf:
+    def test_mf_never_worse_than_straightforward(self, fast_options):
+        specs = [make_spec(e, name=f"o{i}") for i, e in enumerate(EXPRS)]
+        sf = merge_straightforward(specs, fast_options)
+        mf = synthesize_multi(specs, options=fast_options)
+        assert mf.size <= sf.size
+        assert mf.verify()
+
+    def test_output_band_extraction(self, fast_options):
+        specs = [make_spec(e, name=f"o{i}") for i, e in enumerate(EXPRS)]
+        mf = synthesize_multi(specs, options=fast_options)
+        for i, spec in enumerate(specs):
+            band = mf.output_band(i)
+            assert band.realizes(spec.tt)
+
+    def test_accepts_string_targets(self, fast_options):
+        mf = synthesize_multi(["ab", "a'b'"], options=fast_options)
+        assert mf.verify()
+        assert mf.specs[0].name == "f0"
+
+    def test_names_used(self, fast_options):
+        mf = synthesize_multi(["ab"], names=["carry"], options=fast_options)
+        assert mf.specs[0].name == "carry"
+
+    def test_single_output(self, fast_options):
+        mf = synthesize_multi(["ab + a'b'"], options=fast_options)
+        assert mf.cols == mf.column_ranges[0][1]
+        assert mf.verify()

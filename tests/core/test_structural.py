@@ -1,0 +1,98 @@
+"""Tests for structural checks and the lower bound."""
+
+import pytest
+
+from repro.core import (
+    make_spec,
+    shapes_of_area,
+    sizes_coverable,
+    structural_check,
+    structural_lower_bound,
+)
+
+
+class TestSizesCoverable:
+    def test_simple_match(self):
+        assert sizes_coverable([2, 3], [3, 3])
+
+    def test_distinctness_enforced(self):
+        # Two target products cannot share one lattice product.
+        assert not sizes_coverable([2, 2], [3])
+
+    def test_size_threshold(self):
+        assert not sizes_coverable([4], [3, 3, 3])
+
+    def test_empty_target(self):
+        assert sizes_coverable([], [1])
+
+    def test_greedy_matching_is_exact(self):
+        # targets 3,1 vs lattice 2,3: match 3->3, 1->2 works.
+        assert sizes_coverable([3, 1], [2, 3])
+        # targets 3,3 vs lattice 2,3 fails.
+        assert not sizes_coverable([3, 3], [2, 3])
+
+
+class TestStructuralCheck:
+    def test_paper_8x1_counterexample(self):
+        """Paper: f = abcd + a'b'c'd' cannot use 8x1 (one path, two
+        products needed)."""
+        spec = make_spec("abcd + a'b'c'd'")
+        assert not structural_check(spec, 8, 1)
+
+    def test_paper_2x4_counterexample(self):
+        """Paper: f_2x4 products have 2 literals but f needs 4."""
+        spec = make_spec("abcd + a'b'c'd'")
+        assert not structural_check(spec, 2, 4)
+
+    def test_4x2_passes(self):
+        spec = make_spec("abcd + a'b'c'd'")
+        assert structural_check(spec, 4, 2)
+
+    def test_check_considers_duals(self):
+        # f = a+b+c+d has one dual product of 4 literals; a 2x2 lattice's
+        # dual paths have only 2 cells.
+        spec = make_spec("a + b + c + d")
+        assert not structural_check(spec, 2, 2)
+
+
+class TestShapes:
+    def test_shapes_of_area(self):
+        assert shapes_of_area(6) == [(1, 6), (2, 3), (3, 2), (6, 1)]
+
+    def test_prime_area(self):
+        assert shapes_of_area(7) == [(1, 7), (7, 1)]
+
+
+class TestLowerBound:
+    def test_fully_complemented_pair(self):
+        # For abcd + a'b'c'd' a 3x2 shape passes the (necessary-only)
+        # structural check, so the bound is 6 although the optimum is 8.
+        spec = make_spec("abcd + a'b'c'd'")
+        lb = structural_lower_bound(spec)
+        assert lb == 6
+
+    def test_fig1_function(self):
+        # Reconstructed Fig. 1 function (the published TL set lacks c').
+        spec = make_spec("abcd + a'b'cd'")
+        lb = structural_lower_bound(spec)
+        assert lb <= 8  # optimum is the 4x2 lattice of Fig. 1(d)
+
+    def test_fig4_matches_paper(self):
+        spec = make_spec("cd + c'd' + abe + a'b'e'")
+        assert structural_lower_bound(spec) == 12
+
+    def test_constant(self):
+        spec = make_spec("1", name="one")
+        assert structural_lower_bound(spec) == 1
+
+    def test_single_literal(self):
+        spec = make_spec("a")
+        assert structural_lower_bound(spec) == 1
+
+    def test_lower_bound_never_exceeds_optimum(self, fast_options):
+        from repro.core import synthesize
+
+        spec = make_spec("ab + a'b'")
+        lb = structural_lower_bound(spec)
+        result = synthesize(spec, options=fast_options)
+        assert lb <= result.size

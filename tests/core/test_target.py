@@ -1,0 +1,64 @@
+"""Tests for TargetSpec."""
+
+import pytest
+
+from repro.boolf import TruthTable, parse_sop
+from repro.core import TargetSpec, make_spec
+from repro.errors import DimensionError, SynthesisError
+
+
+class TestConstruction:
+    def test_from_string(self):
+        spec = TargetSpec.from_string("ab + a'c")
+        assert spec.num_inputs == 3
+        assert spec.num_products == 2
+        assert spec.degree == 2
+        spec.validate()
+
+    def test_from_truthtable(self):
+        tt = TruthTable.from_function(lambda b: b[0] and b[1], 2)
+        spec = TargetSpec.from_truthtable(tt, name="and2")
+        assert spec.name == "and2"
+        assert spec.num_products == 1
+
+    def test_from_sop(self):
+        spec = TargetSpec.from_sop(parse_sop("ab + cd"))
+        assert spec.degree == 2
+        assert spec.num_inputs == 4
+
+    def test_isop_is_minimal(self):
+        # ab + a'c + bc minimizes to 2 products.
+        spec = TargetSpec.from_string("ab + a'c + bc")
+        assert spec.num_products == 2
+
+    def test_dual_stats(self):
+        spec = TargetSpec.from_string("cd + c'd' + abe + a'b'e'")
+        assert spec.num_dual_products == 6
+        assert spec.dual_degree == 4
+
+    def test_inconsistent_covers_rejected(self):
+        tt = TruthTable.ones(2)
+        good = TargetSpec.from_truthtable(tt)
+        bad_isop = parse_sop("a", names=["a", "b"])
+        with pytest.raises(DimensionError):
+            TargetSpec("bad", tt, bad_isop, good.dual_isop).validate()
+
+    def test_constant_detection(self):
+        assert TargetSpec.from_truthtable(TruthTable.ones(2)).is_constant
+        assert TargetSpec.from_truthtable(TruthTable.zeros(2)).is_constant
+        assert not TargetSpec.from_string("a").is_constant
+
+
+class TestMakeSpec:
+    def test_accepts_all_forms(self):
+        tt = TruthTable.variable(0, 2)
+        for target in ["a", parse_sop("a"), tt, make_spec("a")]:
+            spec = make_spec(target)
+            assert isinstance(spec, TargetSpec)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SynthesisError):
+            make_spec(42)
+
+    def test_name_passed_through(self):
+        assert make_spec("ab", name="myfn").name == "myfn"

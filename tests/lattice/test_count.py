@@ -1,0 +1,40 @@
+"""Tests for the Table I regenerator."""
+
+from repro.lattice import (
+    PAPER_TABLE1,
+    count_products,
+    format_table1,
+    products_table,
+)
+
+
+class TestProductsTable:
+    def test_small_table_matches_paper(self):
+        for entry in products_table(4, 4):
+            want = PAPER_TABLE1[(entry.rows, entry.cols)]
+            assert (entry.products, entry.dual_products) == want
+
+    def test_entry_count(self):
+        assert len(products_table(5, 6)) == 4 * 5
+
+    def test_count_products_tuple(self):
+        assert count_products(3, 3) == (9, 17)
+
+    def test_asymmetry_noted_in_paper(self):
+        """Table I is not symmetric: f_2x4 vs f_4x2 and the 8x4 example."""
+        assert count_products(2, 4) != count_products(4, 2)
+
+    def test_same_size_different_product_counts(self):
+        """Paper: f_3x8 has 64 products while f_6x4 has 236."""
+        assert count_products(3, 8)[0] == 64
+        assert count_products(6, 4)[0] == 236
+
+
+class TestFormat:
+    def test_format_contains_counts(self):
+        text = format_table1(products_table(3, 3))
+        assert "9" in text and "17" in text
+        assert text.splitlines()[0].strip().startswith("m/n")
+
+    def test_format_empty(self):
+        assert format_table1([]) == "(empty)"

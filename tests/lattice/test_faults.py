@@ -1,0 +1,173 @@
+"""Tests for single-switch fault analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DimensionError
+from repro.lattice import CONST0, CONST1, Entry, LatticeAssignment
+from repro.lattice.faults import (
+    STUCK_OFF,
+    STUCK_ON,
+    Fault,
+    detecting_vectors,
+    fault_coverage,
+    fault_table,
+    fault_universe,
+    inject,
+    minimal_test_set,
+)
+
+
+def and_lattice() -> LatticeAssignment:
+    """2x1 lattice realizing a AND b."""
+    return LatticeAssignment(2, 1, [Entry.lit(0), Entry.lit(1)], 2)
+
+
+def or_lattice() -> LatticeAssignment:
+    """1x2 lattice realizing a OR b."""
+    return LatticeAssignment(1, 2, [Entry.lit(0), Entry.lit(1)], 2)
+
+
+def random_assignment(rows, cols, num_vars, seed):
+    rng = np.random.default_rng(seed)
+    entries = []
+    for _ in range(rows * cols):
+        kind = rng.random()
+        if kind < 0.15:
+            entries.append(CONST0)
+        elif kind < 0.3:
+            entries.append(CONST1)
+        else:
+            entries.append(
+                Entry.lit(int(rng.integers(0, num_vars)), bool(rng.random() < 0.5))
+            )
+    return LatticeAssignment(rows, cols, entries, num_vars)
+
+
+class TestInject:
+    def test_stuck_off_kills_conduction(self):
+        lattice = and_lattice()
+        faulty = inject(lattice, Fault(0, 0, STUCK_OFF))
+        assert faulty.realized_truthtable().is_zero()
+
+    def test_stuck_on_shortens_path(self):
+        lattice = and_lattice()
+        faulty = inject(lattice, Fault(0, 0, STUCK_ON))
+        # a stuck ON: function degenerates to b.
+        from repro.boolf import TruthTable
+
+        assert faulty.realized_truthtable() == TruthTable.variable(1, 2)
+
+    def test_original_unchanged(self):
+        lattice = and_lattice()
+        inject(lattice, Fault(0, 0, STUCK_ON))
+        assert lattice.entry(0, 0) == Entry.lit(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DimensionError):
+            inject(and_lattice(), Fault(5, 0, STUCK_ON))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(DimensionError):
+            Fault(0, 0, "stuck-sideways")
+
+
+class TestUniverse:
+    def test_two_faults_per_literal_cell(self):
+        assert len(fault_universe(and_lattice())) == 4
+
+    def test_vacuous_faults_excluded(self):
+        lattice = LatticeAssignment(1, 2, [CONST0, CONST1], 1)
+        universe = fault_universe(lattice)
+        assert Fault(0, 0, STUCK_OFF) not in universe
+        assert Fault(0, 1, STUCK_ON) not in universe
+        assert len(universe) == 2
+
+
+class TestDetection:
+    def test_and_lattice_faults_all_testable(self):
+        report = fault_table(and_lattice())
+        assert not report.redundant
+        assert report.num_faults == 4
+
+    def test_detecting_vectors_definition(self):
+        lattice = and_lattice()
+        vectors = detecting_vectors(lattice, Fault(0, 0, STUCK_ON))
+        # a stuck ON turns f from ab into b: differs where b=1, a=0.
+        assert vectors == [0b10]
+
+    def test_redundant_fault_found(self):
+        # Two parallel columns both carrying `a`: one column stuck OFF is
+        # masked by the other.
+        lattice = LatticeAssignment(1, 2, [Entry.lit(0), Entry.lit(0)], 1)
+        report = fault_table(lattice)
+        off_faults = [f for f in report.redundant if f.kind == STUCK_OFF]
+        assert len(off_faults) == 2
+
+
+class TestTestSets:
+    def test_minimal_set_covers_everything(self):
+        report = fault_table(and_lattice())
+        tests = minimal_test_set(report)
+        assert fault_coverage(report, tests) == 1.0
+
+    def test_and_needs_three_vectors(self):
+        # Classic result: testing a 2-input AND needs 3 vectors
+        # (11 for stuck-off, 01 and 10 for the stuck-ons).
+        report = fault_table(and_lattice())
+        tests = minimal_test_set(report)
+        assert len(tests) == 3
+
+    def test_or_needs_three_vectors(self):
+        report = fault_table(or_lattice())
+        assert len(minimal_test_set(report)) == 3
+
+    def test_coverage_fractions(self):
+        report = fault_table(and_lattice())
+        assert fault_coverage(report, []) == 0.0
+        full = minimal_test_set(report)
+        assert 0.0 < fault_coverage(report, full[:1]) < 1.0
+
+    def test_coverage_vacuous_when_no_testable_faults(self):
+        lattice = LatticeAssignment(1, 1, [CONST1], 1)
+        report = fault_table(lattice)
+        # Only a stuck-off fault exists and it is testable (1 -> 0)...
+        if report.testable:
+            assert fault_coverage(report, minimal_test_set(report)) == 1.0
+
+
+class TestRandomizedInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_every_testable_fault_has_real_witnesses(self, seed):
+        lattice = random_assignment(2, 3, 3, seed)
+        report = fault_table(lattice)
+        good = lattice.realized_truthtable()
+        for fault, vectors in report.testable.items():
+            faulty = inject(lattice, fault).realized_truthtable()
+            for vec in vectors:
+                assert good.evaluate(vec) != faulty.evaluate(vec)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_minimal_set_full_coverage(self, seed):
+        lattice = random_assignment(3, 2, 3, seed)
+        report = fault_table(lattice)
+        tests = minimal_test_set(report)
+        assert fault_coverage(report, tests) == 1.0
+        # Greedy never uses more vectors than faults.
+        assert len(tests) <= max(1, len(report.testable))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_stuck_on_monotone_stuck_off_antitone(self, seed):
+        # Stuck-ON can only add conduction; stuck-OFF can only remove it.
+        lattice = random_assignment(2, 2, 2, seed)
+        good = lattice.realized_truthtable()
+        for fault in fault_universe(lattice):
+            bad = inject(lattice, fault).realized_truthtable()
+            if fault.kind == STUCK_ON:
+                assert good.implies(bad)
+            else:
+                assert bad.implies(good)

@@ -1,0 +1,39 @@
+"""Tests for symbolic lattice functions and the duality theorem."""
+
+import pytest
+
+from repro.errors import DimensionError
+from repro.lattice import lattice_dual_function, lattice_function, switch_names
+
+
+class TestLatticeFunction:
+    def test_f3x3_matches_paper(self):
+        f = lattice_function(3, 3)
+        assert f.num_products == 9
+        assert f.degree == 5
+        # The paper writes f_3x3 explicitly; spot-check two products.
+        text = f.to_string()
+        assert "x1x4x7" in text
+        assert "x3x6x9" in text
+
+    def test_dual_3x3_has_17_products(self):
+        assert lattice_dual_function(3, 3).num_products == 17
+
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 3), (3, 2), (3, 3), (3, 4)])
+    def test_duality_theorem(self, shape):
+        """TB(4-conn) function and LR(8-conn) function are duals
+        (Altun & Riedel 2012, used throughout the paper)."""
+        f = lattice_function(*shape).to_truthtable()
+        g = lattice_dual_function(*shape).to_truthtable()
+        assert f.dual() == g
+
+    def test_switch_names_row_major(self):
+        assert switch_names(2, 2) == ["x1", "x2", "x3", "x4"]
+
+    def test_symbolic_limit(self):
+        with pytest.raises(DimensionError):
+            lattice_function(8, 8)
+
+    def test_f2x2(self):
+        f = lattice_function(2, 2)
+        assert f.to_string() == "x1x3 + x2x4"

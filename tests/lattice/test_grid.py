@@ -1,0 +1,89 @@
+"""Tests for lattice geometry."""
+
+import pytest
+
+from repro.errors import DimensionError
+from repro.lattice import Grid
+
+
+class TestConstruction:
+    def test_size(self):
+        g = Grid(3, 4)
+        assert g.size == 12
+        assert g.rows == 3
+        assert g.cols == 4
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(DimensionError):
+            Grid(0, 3)
+        with pytest.raises(DimensionError):
+            Grid(3, 0)
+
+    def test_index_coords_round_trip(self):
+        g = Grid(3, 4)
+        for r in range(3):
+            for c in range(4):
+                assert g.coords(g.index(r, c)) == (r, c)
+
+    def test_index_out_of_range(self):
+        g = Grid(2, 2)
+        with pytest.raises(DimensionError):
+            g.index(2, 0)
+        with pytest.raises(DimensionError):
+            g.coords(4)
+
+
+class TestNeighbourhoods:
+    def test_corner_has_two_4neighbours(self):
+        g = Grid(3, 3)
+        assert g.nbr4[0].bit_count() == 2
+        assert g.nbr8[0].bit_count() == 3
+
+    def test_center_has_four_and_eight(self):
+        g = Grid(3, 3)
+        center = g.index(1, 1)
+        assert g.nbr4[center].bit_count() == 4
+        assert g.nbr8[center].bit_count() == 8
+
+    def test_neighbourhood_symmetry(self):
+        g = Grid(4, 5)
+        for i in range(g.size):
+            for j in range(g.size):
+                assert bool(g.nbr4[i] >> j & 1) == bool(g.nbr4[j] >> i & 1)
+                assert bool(g.nbr8[i] >> j & 1) == bool(g.nbr8[j] >> i & 1)
+
+    def test_nbr4_subset_of_nbr8(self):
+        g = Grid(4, 4)
+        for i in range(g.size):
+            assert g.nbr4[i] & ~g.nbr8[i] == 0
+
+    def test_single_cell_lattice(self):
+        g = Grid(1, 1)
+        assert g.nbr4[0] == 0
+        assert g.top_mask == g.bottom_mask == 1
+
+
+class TestPlateMasks:
+    def test_masks_3x3(self):
+        g = Grid(3, 3)
+        assert g.top_mask == 0b000000111
+        assert g.bottom_mask == 0b111000000
+        assert g.left_mask == 0b001001001
+        assert g.right_mask == 0b100100100
+
+    def test_row_col_cells(self):
+        g = Grid(2, 3)
+        assert g.row_cells(1) == [3, 4, 5]
+        assert g.col_cells(2) == [2, 5]
+
+    def test_transpose_index(self):
+        g = Grid(2, 3)
+        assert g.transpose_index(g.index(0, 2)) == 4  # (2,0) in 3x2
+
+    def test_equality_and_hash(self):
+        assert Grid(2, 3) == Grid(2, 3)
+        assert Grid(2, 3) != Grid(3, 2)
+        assert hash(Grid(2, 3)) == hash(Grid(2, 3))
+
+    def test_cells_iterator(self):
+        assert list(Grid(2, 2).cells()) == [(0, 0), (0, 1), (1, 0), (1, 1)]

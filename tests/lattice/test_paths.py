@@ -1,0 +1,122 @@
+"""Tests for irredundant path enumeration."""
+
+import pytest
+
+from repro.lattice import (
+    Grid,
+    count_left_right_paths8,
+    count_top_bottom_paths,
+    left_right_paths8,
+    top_bottom_paths,
+)
+from repro.lattice.count import PAPER_TABLE1
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize("m", range(2, 6))
+    @pytest.mark.parametrize("n", range(2, 6))
+    def test_table1_counts_small(self, m, n):
+        want = PAPER_TABLE1[(m, n)]
+        assert count_top_bottom_paths(m, n) == want[0]
+        assert count_left_right_paths8(m, n) == want[1]
+
+    @pytest.mark.parametrize(
+        "shape", [(2, 8), (3, 7), (6, 3), (4, 6), (7, 2), (3, 8)]
+    )
+    def test_table1_counts_elongated(self, shape):
+        m, n = shape
+        want = PAPER_TABLE1[(m, n)]
+        assert count_top_bottom_paths(m, n) == want[0]
+        assert count_left_right_paths8(m, n) == want[1]
+
+    def test_paper_f3x3_products(self):
+        """The paper lists f_3x3 explicitly: 9 specific products."""
+        # Cell x_i (1-based, row-major) -> bit i-1.
+        def mask(*cells):
+            return sum(1 << (c - 1) for c in cells)
+
+        expected = {
+            mask(1, 4, 7), mask(2, 5, 8), mask(3, 6, 9),
+            mask(1, 4, 5, 8), mask(2, 5, 4, 7), mask(2, 5, 6, 9),
+            mask(3, 6, 5, 8), mask(1, 4, 5, 6, 9), mask(3, 6, 5, 4, 7),
+        }
+        assert set(top_bottom_paths(3, 3)) == expected
+
+    def test_paper_dual_3x3_products(self):
+        """Footnote 1 of the paper lists all 17 dual products of f_3x3."""
+        def mask(*cells):
+            return sum(1 << (c - 1) for c in cells)
+
+        expected = {
+            mask(1, 2, 3), mask(1, 2, 6), mask(1, 5, 3), mask(1, 5, 6),
+            mask(1, 5, 9), mask(4, 2, 3), mask(4, 2, 6), mask(4, 5, 3),
+            mask(4, 5, 6), mask(4, 5, 9), mask(4, 8, 6), mask(4, 8, 9),
+            mask(7, 5, 3), mask(7, 5, 6), mask(7, 5, 9), mask(7, 8, 6),
+            mask(7, 8, 9),
+        }
+        assert set(left_right_paths8(3, 3)) == expected
+
+
+class TestStructuralProperties:
+    @pytest.mark.parametrize("shape", [(2, 2), (3, 3), (3, 4), (4, 3), (4, 4)])
+    def test_irredundancy(self, shape):
+        """No product's cell set may contain another's."""
+        for paths in (top_bottom_paths(*shape), left_right_paths8(*shape)):
+            for i, a in enumerate(paths):
+                for j, b in enumerate(paths):
+                    if i != j:
+                        assert a & b != a, "product contained in another"
+
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 3), (3, 4)])
+    def test_tb_paths_touch_both_plates_once(self, shape):
+        g = Grid(*shape)
+        for mask in top_bottom_paths(*shape):
+            assert (mask & g.top_mask).bit_count() == 1
+            assert (mask & g.bottom_mask).bit_count() == 1
+
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 3)])
+    def test_lr_paths_touch_both_plates_once(self, shape):
+        g = Grid(*shape)
+        for mask in left_right_paths8(*shape):
+            assert (mask & g.left_mask).bit_count() == 1
+            assert (mask & g.right_mask).bit_count() == 1
+
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 4)])
+    def test_tb_paths_are_connected(self, shape):
+        g = Grid(*shape)
+        for mask in top_bottom_paths(*shape):
+            seed = mask & -mask
+            reached = seed
+            frontier = seed
+            while frontier:
+                nxt = 0
+                m = frontier
+                while m:
+                    bit = m & -m
+                    m ^= bit
+                    nxt |= g.nbr4[bit.bit_length() - 1]
+                frontier = nxt & mask & ~reached
+                reached |= frontier
+            assert reached == mask
+
+    def test_path_lengths_bounded(self):
+        # A 4-connected minimal path in m x n spans at least m cells.
+        for mask in top_bottom_paths(4, 3):
+            assert mask.bit_count() >= 4
+
+    def test_single_row(self):
+        # 1 x n: every cell touches both plates: n one-cell paths.
+        assert count_top_bottom_paths(1, 4) == 4
+
+    def test_single_column(self):
+        # m x 1: the only path is the whole column.
+        paths = top_bottom_paths(4, 1)
+        assert len(paths) == 1
+        assert paths[0].bit_count() == 4
+
+    def test_counting_matches_enumeration(self):
+        assert count_top_bottom_paths(4, 4) == len(top_bottom_paths(4, 4))
+        assert count_left_right_paths8(4, 4) == len(left_right_paths8(4, 4))
+
+    def test_memoization_returns_same_object(self):
+        assert top_bottom_paths(3, 3) is top_bottom_paths(3, 3)

@@ -1,0 +1,117 @@
+"""Tests for ASCII/SVG lattice rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.lattice import (
+    CONST0,
+    CONST1,
+    Entry,
+    LatticeAssignment,
+    conducting_cells,
+    render_ascii,
+    render_svg,
+)
+
+
+def fig1c_lattice() -> LatticeAssignment:
+    """A 2x2 lattice realizing a AND b on variables (a, b)."""
+    entries = [
+        Entry.lit(0), Entry.lit(0),
+        Entry.lit(1), Entry.lit(1),
+    ]
+    return LatticeAssignment(2, 2, entries, 2)
+
+
+class TestConductingCells:
+    def test_no_conduction_empty(self):
+        lattice = fig1c_lattice()
+        assert conducting_cells(lattice, 0b00) == set()
+        assert conducting_cells(lattice, 0b01) == set()
+
+    def test_full_conduction(self):
+        lattice = fig1c_lattice()
+        assert conducting_cells(lattice, 0b11) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_component_not_reaching_bottom_excluded(self):
+        entries = [
+            Entry.lit(0), CONST0,
+            CONST0, Entry.lit(1),
+        ]
+        lattice = LatticeAssignment(2, 2, entries, 2)
+        # a=1, b=1: a is on at top-left, b at bottom-right, but they are
+        # not 4-connected — nothing conducts.
+        assert conducting_cells(lattice, 0b11) == set()
+
+    def test_matches_evaluate(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            entries = []
+            for _ in range(9):
+                var = int(rng.integers(0, 3))
+                kind = rng.random()
+                if kind < 0.2:
+                    entries.append(CONST0)
+                elif kind < 0.4:
+                    entries.append(CONST1)
+                else:
+                    entries.append(Entry.lit(var, bool(rng.random() < 0.5)))
+            lattice = LatticeAssignment(3, 3, entries, 3)
+            for minterm in range(8):
+                cells = conducting_cells(lattice, minterm)
+                assert bool(cells) == lattice.evaluate(minterm)
+
+
+class TestRenderAscii:
+    def test_contains_all_labels_and_plates(self):
+        lattice = fig1c_lattice()
+        text = render_ascii(lattice)
+        assert "top" in text and "bottom" in text
+        assert "a" in text and "b" in text
+
+    def test_highlight_star(self):
+        lattice = fig1c_lattice()
+        text = render_ascii(lattice, minterm=0b11)
+        assert "a*" in text and "b*" in text
+        no_path = render_ascii(lattice, minterm=0b01)
+        assert "*" not in no_path
+
+    def test_no_plates(self):
+        text = render_ascii(fig1c_lattice(), show_plates=False)
+        assert "top" not in text
+        assert text.count("\n") == 1  # two rows
+
+    def test_rows_aligned(self):
+        entries = [Entry.lit(0), CONST1, Entry.lit(1, False), CONST0]
+        lattice = LatticeAssignment(2, 2, entries, 2)
+        lines = render_ascii(lattice, show_plates=False).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestRenderSvg:
+    def test_well_formed_and_complete(self):
+        lattice = fig1c_lattice()
+        svg = render_svg(lattice)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        # 4 cells + 2 plates = 6 rects.
+        assert svg.count("<rect") == 6
+        assert svg.count("<text") == 4
+
+    def test_highlighting_changes_fill(self):
+        lattice = fig1c_lattice()
+        plain = render_svg(lattice)
+        lit = render_svg(lattice, minterm=0b11)
+        assert "#ffd27f" not in plain
+        assert lit.count("#ffd27f") == 4
+
+    def test_label_escaping(self):
+        # Variable names with XML-special characters must be escaped.
+        entries = [Entry.lit(0)]
+        lattice = LatticeAssignment(1, 1, entries, 1, names=["a<b&c"])
+        svg = render_svg(lattice)
+        assert "a&lt;b&amp;c" in svg
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(DimensionError):
+            render_svg(fig1c_lattice(), cell_size=0)

@@ -1,0 +1,110 @@
+"""Tests for lattice symmetry operations and canonical forms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.lattice import (
+    CONST0,
+    CONST1,
+    Entry,
+    LatticeAssignment,
+    canonical_form,
+    equivalent,
+    flip_horizontal,
+    flip_vertical,
+    orbit,
+    rotate_180,
+)
+
+
+def random_assignment(rows, cols, num_vars, seed):
+    rng = np.random.default_rng(seed)
+    entries = []
+    for _ in range(rows * cols):
+        kind = rng.random()
+        if kind < 0.15:
+            entries.append(CONST0)
+        elif kind < 0.3:
+            entries.append(CONST1)
+        else:
+            entries.append(
+                Entry.lit(int(rng.integers(0, num_vars)), bool(rng.random() < 0.5))
+            )
+    return LatticeAssignment(rows, cols, entries, num_vars)
+
+
+@st.composite
+def assignments(draw):
+    rows = draw(st.integers(min_value=1, max_value=4))
+    cols = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_assignment(rows, cols, 3, seed)
+
+
+class TestGroupLaws:
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_flips_are_involutions(self, a):
+        assert flip_horizontal(flip_horizontal(a)) == a
+        assert flip_vertical(flip_vertical(a)) == a
+        assert rotate_180(rotate_180(a)) == a
+
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_flips_commute(self, a):
+        assert flip_horizontal(flip_vertical(a)) == flip_vertical(
+            flip_horizontal(a)
+        )
+
+    @given(assignments())
+    @settings(max_examples=20, deadline=None)
+    def test_orbit_size_divides_group_order(self, a):
+        keys = {tuple(img.entries) for img in orbit(a)}
+        assert len(keys) in (1, 2, 4)
+
+
+class TestFunctionPreservation:
+    @given(assignments())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetries_preserve_realized_function(self, a):
+        reference = a.realized_truthtable()
+        for image in orbit(a):
+            assert image.realized_truthtable() == reference
+
+    @given(assignments())
+    @settings(max_examples=20, deadline=None)
+    def test_symmetries_preserve_dual_side_function(self, a):
+        reference = a.realized_dual_side_truthtable()
+        for image in orbit(a):
+            assert image.realized_dual_side_truthtable() == reference
+
+
+class TestCanonicalForm:
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_form_is_orbit_invariant(self, a):
+        canon = canonical_form(a)
+        for image in orbit(a):
+            assert canonical_form(image) == canon
+
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_with_own_images(self, a):
+        for image in orbit(a):
+            assert equivalent(a, image)
+
+    def test_inequivalent_when_content_differs(self):
+        a = LatticeAssignment(1, 2, [Entry.lit(0), Entry.lit(1)], 2)
+        b = LatticeAssignment(1, 2, [Entry.lit(0), Entry.lit(0)], 2)
+        assert not equivalent(a, b)
+
+    def test_shape_mismatch_never_equivalent(self):
+        a = LatticeAssignment(1, 2, [Entry.lit(0), Entry.lit(1)], 2)
+        b = LatticeAssignment(2, 1, [Entry.lit(0), Entry.lit(1)], 2)
+        assert not equivalent(a, b)
+
+    def test_flipped_assignments_are_equivalent(self):
+        a = random_assignment(3, 4, 3, seed=5)
+        assert equivalent(a, flip_horizontal(a))
+        assert equivalent(a, flip_vertical(a))
+        assert equivalent(a, rotate_180(a))

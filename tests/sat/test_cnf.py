@@ -1,0 +1,75 @@
+"""Tests for CNF containers and the variable pool."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.sat import Cnf, VarPool
+
+
+class TestVarPool:
+    def test_fresh_sequential(self):
+        pool = VarPool()
+        assert pool.fresh() == 1
+        assert pool.fresh() == 2
+        assert pool.num_vars == 2
+
+    def test_keyed_variables_stable(self):
+        pool = VarPool()
+        v1 = pool.var(("m", 0, 1))
+        v2 = pool.var(("m", 0, 1))
+        assert v1 == v2
+        assert pool.var(("m", 0, 2)) != v1
+
+    def test_lookup_and_key_of(self):
+        pool = VarPool()
+        v = pool.var("x")
+        assert pool.lookup("x") == v
+        assert pool.lookup("y") is None
+        assert pool.key_of(v) == "x"
+        assert pool.key_of(99) is None
+
+    def test_items(self):
+        pool = VarPool()
+        pool.var("a")
+        pool.var("b")
+        assert dict(pool.items()) == {"a": 1, "b": 2}
+
+    def test_start_below_one_rejected(self):
+        with pytest.raises(EncodingError):
+            VarPool(start=0)
+
+
+class TestCnf:
+    def test_add_and_len(self):
+        cnf = Cnf()
+        a, b = cnf.pool.fresh(), cnf.pool.fresh()
+        cnf.add([a, -b])
+        assert len(cnf) == 1
+        assert cnf.num_vars == 2
+
+    def test_complexity_is_vars_times_clauses(self):
+        cnf = Cnf()
+        a = cnf.pool.fresh()
+        cnf.add([a])
+        cnf.add([-a])
+        assert cnf.complexity == 2
+
+    def test_zero_literal_rejected(self):
+        cnf = Cnf()
+        cnf.pool.fresh()
+        with pytest.raises(EncodingError):
+            cnf.add([0])
+
+    def test_unallocated_variable_rejected(self):
+        cnf = Cnf()
+        with pytest.raises(EncodingError):
+            cnf.add([5])
+
+    def test_extend_and_iter(self):
+        cnf = Cnf()
+        a, b = cnf.pool.fresh(), cnf.pool.fresh()
+        cnf.extend([[a], [b], [-a, -b]])
+        assert list(cnf) == [[a], [b], [-a, -b]]
+
+    def test_repr(self):
+        assert "Cnf" in repr(Cnf())

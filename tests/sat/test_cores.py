@@ -1,0 +1,101 @@
+"""Tests for unsat-core extraction under assumptions."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CdclSolver
+
+
+def brute_force_sat(clauses: list[list[int]], num_vars: int) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def true(lit: int) -> bool:
+            val = bits[abs(lit) - 1]
+            return val if lit > 0 else not val
+
+        if all(any(true(l) for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestCoreBasics:
+    def test_no_core_on_sat(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve([1])
+        assert result.is_sat
+        assert result.core is None
+
+    def test_directly_conflicting_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])  # keep the solver non-trivial
+        result = solver.solve([3, -3])
+        assert result.is_unsat
+        assert result.core is not None
+        assert set(result.core) == {3, -3}
+
+    def test_core_through_propagation(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve([1, -3])
+        assert result.is_unsat
+        assert set(result.core) == {1, -3}
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, -2])
+        # Assumption 5 is unrelated to the conflict between 1 and 2.
+        result = solver.solve([5, 1, 2])
+        assert result.is_unsat
+        assert 5 not in set(result.core)
+        assert {1, 2} <= set(result.core)
+
+    def test_globally_unsat_has_empty_core(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        result = solver.solve([2])
+        assert result.is_unsat
+        assert result.core == []
+
+    def test_incremental_reuse_after_core(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, -2])
+        assert solver.solve([1, 2]).is_unsat
+        # The solver must remain usable without the failing assumptions.
+        assert solver.solve([1]).is_sat
+        assert solver.solve([2]).is_sat
+
+
+class TestCoreIsUnsatSubset:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_core_plus_formula_is_unsat(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        num_vars = 6
+        clauses = []
+        for _ in range(14):
+            variables = rng.choice(num_vars, size=3, replace=False)
+            clauses.append(
+                [int(v + 1) * (1 if rng.random() < 0.5 else -1) for v in variables]
+            )
+        assumptions = [
+            int(v + 1) * (1 if rng.random() < 0.5 else -1)
+            for v in rng.choice(num_vars, size=4, replace=False)
+        ]
+        solver = CdclSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve(assumptions)
+        if not result.is_unsat:
+            return
+        core = result.core
+        assert core is not None
+        assert set(core) <= set(assumptions)
+        # Adding the core literals as units must make the formula UNSAT.
+        assert not brute_force_sat(
+            clauses + [[lit] for lit in core], num_vars
+        )

@@ -1,0 +1,63 @@
+"""Tests for DIMACS import/export."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sat import Cnf, read_dimacs, solve_cnf, write_dimacs
+
+SAMPLE = """\
+c a small instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+"""
+
+
+class TestRead:
+    def test_basic(self):
+        cnf = read_dimacs(SAMPLE)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [[1, -2], [2, 3], [-1]]
+
+    def test_multiline_clause(self):
+        cnf = read_dimacs("p cnf 2 1\n1\n2 0\n")
+        assert cnf.clauses == [[1, 2]]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            read_dimacs("1 2 0\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            read_dimacs("p sat 3 1\n1 0\n")
+
+    def test_percent_terminator(self):
+        cnf = read_dimacs("p cnf 2 1\n1 2 0\n%\n0\n")
+        assert cnf.clauses == [[1, 2]]
+
+    def test_solvable(self):
+        result = solve_cnf(read_dimacs(SAMPLE))
+        assert result.is_sat
+        assert not result.value(1)
+        assert not result.value(2)
+        assert result.value(3)
+
+
+class TestWrite:
+    def test_round_trip(self):
+        cnf = Cnf()
+        a, b = cnf.pool.fresh(), cnf.pool.fresh()
+        cnf.add([a, b])
+        cnf.add([-a])
+        text = write_dimacs(cnf, comment="hello\nworld")
+        back = read_dimacs(text)
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == cnf.num_vars
+        assert text.startswith("c hello")
+
+    def test_header_counts(self):
+        cnf = Cnf()
+        a = cnf.pool.fresh()
+        cnf.add([a])
+        assert "p cnf 1 1" in write_dimacs(cnf)

@@ -1,0 +1,160 @@
+"""Tests for DRUP proof logging and checking."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.sat import CdclSolver, check_refutation, check_rup, read_drat, write_drat
+
+
+def php_clauses(holes: int) -> list[list[int]]:
+    """Pigeonhole principle: holes+1 pigeons into `holes` holes — UNSAT."""
+    pigeons = holes + 1
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+def random_clauses(
+    num_vars: int, num_clauses: int, width: int, seed: int
+) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.choice(num_vars, size=min(width, num_vars), replace=False)
+        clauses.append(
+            [int(v + 1) * (1 if rng.random() < 0.5 else -1) for v in variables]
+        )
+    return clauses
+
+
+class TestRupCheck:
+    def test_unit_consequence_is_rup(self):
+        clauses = [[1, 2], [-2]]
+        assert check_rup(clauses, [1])
+
+    def test_non_consequence_is_not_rup(self):
+        clauses = [[1, 2]]
+        assert not check_rup(clauses, [1])
+
+    def test_empty_clause_rup_iff_conflict(self):
+        assert check_rup([[1], [-1]], [])
+        assert not check_rup([[1, 2]], [])
+
+    def test_tautological_lemma_is_rup(self):
+        assert check_rup([[1, 2]], [3, -3])
+
+
+class TestSolverProofs:
+    def test_php_refutation_checks(self):
+        clauses = php_clauses(3)
+        solver = CdclSolver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result.is_unsat
+        check = check_refutation(clauses, solver.proof)
+        assert check.valid, check.reason
+
+    def test_proof_not_logged_by_default(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        assert solver.proof is None
+
+    def test_immediate_contradiction(self):
+        solver = CdclSolver(proof=True)
+        solver.add_clause([1])
+        ok = solver.add_clause([-1])
+        assert not ok
+        check = check_refutation([[1], [-1]], solver.proof)
+        assert check.valid, check.reason
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_unsat_formulas_yield_valid_proofs(self, seed):
+        # Dense random 3-SAT at 8 vars / 60 clauses is almost surely UNSAT;
+        # skip the occasional SAT instance.
+        clauses = random_clauses(num_vars=8, num_clauses=60, width=3, seed=seed)
+        solver = CdclSolver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        if not result.is_unsat:
+            return
+        check = check_refutation(clauses, solver.proof)
+        assert check.valid, check.reason
+
+    def test_corrupted_proof_rejected(self):
+        clauses = php_clauses(2)
+        solver = CdclSolver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().is_unsat
+        proof = list(solver.proof)
+        # Corrupt the first addition into a unit over a fresh variable —
+        # never a consequence of the formula.
+        for i, (kind, lits) in enumerate(proof):
+            if kind == "a" and lits:
+                proof[i] = ("a", (99,))
+                break
+        check = check_refutation(clauses, proof)
+        assert not check.valid
+
+    def test_truncated_proof_rejected(self):
+        clauses = php_clauses(2)
+        solver = CdclSolver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().is_unsat
+        proof = [step for step in solver.proof if step[1]]  # drop empty clause
+        check = check_refutation(clauses, proof)
+        assert not check.valid
+        assert "empty clause" in check.reason
+
+    def test_deleting_missing_clause_rejected(self):
+        check = check_refutation([[1], [-1]], [("d", (5, 6)), ("a", ())])
+        assert not check.valid
+        assert "not present" in check.reason
+
+
+class TestDratIo:
+    def test_roundtrip(self):
+        proof = [("a", (1, -2)), ("d", (3,)), ("a", ())]
+        buf = io.StringIO()
+        write_drat(proof, buf)
+        buf.seek(0)
+        assert read_drat(buf) == proof
+
+    def test_text_format(self):
+        buf = io.StringIO()
+        write_drat([("a", (1, -2)), ("d", (3,)), ("a", ())], buf)
+        assert buf.getvalue() == "1 -2 0\nd 3 0\n0\n"
+
+    def test_read_skips_comments_and_blanks(self):
+        buf = io.StringIO("c comment\n\n1 0\n")
+        assert read_drat(buf) == [("a", (1,))]
+
+    def test_read_rejects_missing_terminator(self):
+        with pytest.raises(SolverError):
+            read_drat(io.StringIO("1 2\n"))
+
+    def test_solver_proof_roundtrips_through_text(self):
+        clauses = php_clauses(2)
+        solver = CdclSolver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().is_unsat
+        buf = io.StringIO()
+        write_drat(solver.proof, buf)
+        buf.seek(0)
+        assert check_refutation(clauses, read_drat(buf)).valid

@@ -1,0 +1,99 @@
+"""Tests for cardinality encodings: semantic equivalence by enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.sat import Cnf, exactly_one
+from repro.sat.encodings import (
+    at_least_one,
+    at_most_one_commander,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+)
+
+
+def models_over(cnf: Cnf, base_vars: list[int]) -> set[tuple[bool, ...]]:
+    """Projections onto base_vars of all satisfying assignments."""
+    n = cnf.num_vars
+    out = set()
+    for assignment in range(1 << n):
+        ok = all(
+            any(
+                (lit > 0) == bool(assignment >> (abs(lit) - 1) & 1)
+                for lit in clause
+            )
+            for clause in cnf.clauses
+        )
+        if ok:
+            out.add(tuple(bool(assignment >> (v - 1) & 1) for v in base_vars))
+    return out
+
+
+def expected_amo(n: int) -> set[tuple[bool, ...]]:
+    return {
+        tuple(bits)
+        for bits in itertools.product([False, True], repeat=n)
+        if sum(bits) <= 1
+    }
+
+
+def expected_eo(n: int) -> set[tuple[bool, ...]]:
+    return {
+        tuple(bits)
+        for bits in itertools.product([False, True], repeat=n)
+        if sum(bits) == 1
+    }
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+@pytest.mark.parametrize(
+    "encoder",
+    [at_most_one_pairwise, at_most_one_sequential, at_most_one_commander],
+    ids=["pairwise", "sequential", "commander"],
+)
+def test_amo_semantics(n, encoder):
+    cnf = Cnf()
+    lits = [cnf.pool.fresh() for _ in range(n)]
+    encoder(cnf, lits)
+    assert models_over(cnf, lits) == expected_amo(n)
+
+
+@pytest.mark.parametrize("method", ["pairwise", "sequential", "commander"])
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_exactly_one_semantics(method, n):
+    cnf = Cnf()
+    lits = [cnf.pool.fresh() for _ in range(n)]
+    exactly_one(cnf, lits, method=method)
+    assert models_over(cnf, lits) == expected_eo(n)
+
+
+def test_commander_recursion_kicks_in():
+    cnf = Cnf()
+    lits = [cnf.pool.fresh() for _ in range(9)]
+    at_most_one_commander(cnf, lits, group_size=3)
+    assert cnf.num_vars > 9  # commander variables were introduced
+    assert models_over(cnf, lits) == expected_amo(9)
+
+
+def test_sequential_uses_linear_clauses():
+    cnf_seq = Cnf()
+    lits = [cnf_seq.pool.fresh() for _ in range(12)]
+    at_most_one_sequential(cnf_seq, lits)
+    cnf_pw = Cnf()
+    lits2 = [cnf_pw.pool.fresh() for _ in range(12)]
+    at_most_one_pairwise(cnf_pw, lits2)
+    assert cnf_seq.num_clauses < cnf_pw.num_clauses
+
+
+def test_at_least_one_empty_rejected():
+    with pytest.raises(EncodingError):
+        at_least_one(Cnf(), [])
+
+
+def test_unknown_method_rejected():
+    cnf = Cnf()
+    lits = [cnf.pool.fresh()]
+    with pytest.raises(EncodingError):
+        exactly_one(cnf, lits, method="magic")

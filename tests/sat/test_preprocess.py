@@ -1,0 +1,155 @@
+"""Tests for the SatELite-style preprocessor.
+
+The headline property: for random CNFs, preprocessing preserves
+satisfiability, and extend_model turns any model of the reduced formula
+into a model of the original — both checked against brute force.
+"""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CdclSolver, Cnf, VarPool, preprocess
+
+
+def make_cnf(clauses: list[list[int]], num_vars: int) -> Cnf:
+    pool = VarPool()
+    for _ in range(num_vars):
+        pool.fresh()
+    cnf = Cnf(pool)
+    for clause in clauses:
+        cnf.add(clause)
+    return cnf
+
+
+def brute_force_models(clauses, num_vars):
+    models = []
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def true(lit):
+            val = bits[abs(lit) - 1]
+            return val if lit > 0 else not val
+
+        if all(any(true(l) for l in c) for c in clauses):
+            models.append(list(bits))
+    return models
+
+
+def check_model(clauses, model):
+    def true(lit):
+        val = model[abs(lit) - 1]
+        return val if lit > 0 else not val
+
+    return all(any(true(l) for l in c) for c in clauses)
+
+
+def random_clauses(num_vars, num_clauses, seed):
+    rng = np.random.default_rng(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = int(rng.integers(1, 4))
+        variables = rng.choice(num_vars, size=min(width, num_vars), replace=False)
+        clauses.append(
+            [int(v + 1) * (1 if rng.random() < 0.5 else -1) for v in variables]
+        )
+    return clauses
+
+
+class TestSubsumption:
+    def test_subsumed_clause_removed(self):
+        # Every variable occurs in both polarities so pure-literal
+        # elimination cannot swallow the instance first.
+        cnf = make_cnf([[1, 2], [1, 2, 3], [-1, -2], [-2, -3]], 3)
+        result = preprocess(cnf)
+        assert result.stats.subsumed >= 1
+
+    def test_self_subsumption_strengthens(self):
+        # (1 2) self-subsumes (-1 2 3) into (2 3); extra clauses keep all
+        # polarities impure.
+        cnf = make_cnf([[1, 2], [-1, 2, 3], [-2, -3], [1, -2, -3]], 3)
+        result = preprocess(cnf)
+        assert result.stats.strengthened >= 1
+        assert not result.is_unsat
+
+    def test_duplicate_clauses_collapse(self):
+        cnf = make_cnf([[1, 2], [2, 1], [1, 2]], 2)
+        result = preprocess(cnf)
+        assert result.cnf is not None
+        assert result.cnf.num_clauses <= 1 or result.stats.eliminated_vars
+
+
+class TestBve:
+    def test_low_occurrence_variable_eliminated(self):
+        # Each variable occurs in both polarities (no pure literals); the
+        # 2-occurrence variables are always growth-free to eliminate.
+        cnf = make_cnf([[1, 2], [-2, 3], [-1, -3, 2]], 3)
+        result = preprocess(cnf)
+        assert result.stats.eliminated_vars >= 1
+
+    def test_unsat_detected_through_resolution(self):
+        cnf = make_cnf([[1], [-1]], 1)
+        result = preprocess(cnf)
+        assert result.is_unsat
+
+    def test_elimination_records_reconstruction(self):
+        cnf = make_cnf([[1, 2], [-2, 3], [3, 1]], 3)
+        result = preprocess(cnf)
+        for var, saved in result.eliminated:
+            assert all(var in c or -var in c for c in saved)
+
+
+class TestEquisatisfiability:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_preprocess_preserves_satisfiability(self, seed):
+        num_vars = 6
+        clauses = random_clauses(num_vars, 12, seed)
+        original_sat = bool(brute_force_models(clauses, num_vars))
+        result = preprocess(make_cnf(clauses, num_vars))
+        if result.is_unsat:
+            assert not original_sat
+            return
+        assert result.cnf is not None
+        solver = CdclSolver()
+        ok = True
+        for clause in result.cnf:
+            ok = solver.add_clause(clause) and ok
+        reduced_sat = ok and solver.solve().is_sat
+        assert reduced_sat == original_sat
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_extend_model_yields_model_of_original(self, seed):
+        num_vars = 6
+        clauses = random_clauses(num_vars, 10, seed)
+        result = preprocess(make_cnf(clauses, num_vars))
+        if result.is_unsat:
+            return
+        assert result.cnf is not None
+        solver = CdclSolver(num_vars=num_vars)
+        ok = True
+        for clause in result.cnf:
+            ok = solver.add_clause(clause) and ok
+        if not ok:
+            return
+        solve = solver.solve()
+        if not solve.is_sat:
+            return
+        model = result.extend_model(solve.model, num_vars)
+        assert check_model(clauses, model)
+
+    def test_extend_model_with_empty_reduction(self):
+        # Fully solvable by units: reduced formula is empty.
+        clauses = [[1], [-1, 2], [-2, 3]]
+        result = preprocess(make_cnf(clauses, 3))
+        assert not result.is_unsat
+        assert result.cnf is not None
+        model = result.extend_model([], 3)
+        assert check_model(clauses, model)
+
+
+class TestStats:
+    def test_rounds_bounded(self):
+        clauses = random_clauses(8, 20, seed=7)
+        result = preprocess(make_cnf(clauses, 8), max_rounds=2)
+        assert result.stats.rounds <= 2

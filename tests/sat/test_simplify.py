@@ -1,0 +1,89 @@
+"""Tests for CNF preprocessing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Cnf, simplify, solve_cnf
+from repro.sat.cnf import VarPool
+
+
+def make_cnf(clauses, num_vars):
+    pool = VarPool()
+    for _ in range(num_vars):
+        pool.fresh()
+    cnf = Cnf(pool)
+    for clause in clauses:
+        cnf.add(clause)
+    return cnf
+
+
+class TestUnits:
+    def test_unit_propagation(self):
+        cnf = make_cnf([[1], [-1, 2], [-2, 3]], 3)
+        result = simplify(cnf)
+        assert not result.is_unsat
+        assert result.forced == {1: True, 2: True, 3: True}
+        assert result.cnf.num_clauses == 0
+
+    def test_unsat_detected(self):
+        cnf = make_cnf([[1], [-1]], 1)
+        assert simplify(cnf).is_unsat
+
+    def test_tautologies_removed(self):
+        cnf = make_cnf([[1, -1], [2, 3]], 3)
+        result = simplify(cnf, pure_literals=False)
+        assert result.cnf.num_clauses == 1
+
+    def test_pure_literal_elimination(self):
+        cnf = make_cnf([[1, 2], [1, 3]], 3)
+        result = simplify(cnf)
+        assert result.forced.get(1) is True
+        assert result.cnf.num_clauses == 0
+
+    def test_extend_model(self):
+        cnf = make_cnf([[1], [2, 3]], 3)
+        result = simplify(cnf, pure_literals=False)
+        model = result.extend_model([False, True, False])
+        assert model[0] is True  # forced by the unit
+
+
+clause_lists = st.lists(
+    st.lists(
+        st.integers(min_value=-5, max_value=5).filter(lambda x: x != 0),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(clause_lists)
+def test_simplification_preserves_satisfiability(clauses):
+    cnf = make_cnf(clauses, 5)
+    original = solve_cnf(make_cnf(clauses, 5)).status
+    result = simplify(cnf)
+    if result.is_unsat:
+        assert original == "unsat"
+        return
+    simplified_status = solve_cnf(result.cnf).status
+    assert simplified_status == original
+
+
+@settings(max_examples=60, deadline=None)
+@given(clause_lists)
+def test_extended_model_satisfies_original(clauses):
+    cnf = make_cnf(clauses, 5)
+    result = simplify(cnf)
+    if result.is_unsat:
+        return
+    sub = solve_cnf(result.cnf)
+    if not sub.is_sat:
+        return
+    model = result.extend_model(sub.model)
+    while len(model) < 5:
+        model.append(False)
+    assert all(
+        any((lit > 0) == model[abs(lit) - 1] for lit in clause)
+        for clause in clauses
+    )

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_args(self):
+        args = build_parser().parse_args(["synth", "ab", "--max-conflicts", "5"])
+        assert args.expression == "ab"
+        assert args.max_conflicts == 5
+
+
+class TestCommands:
+    def test_synth_expression(self, capsys):
+        assert main(["synth", "ab + a'b'", "--max-conflicts", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "solution" in out
+        assert "switches" in out
+
+    def test_synth_requires_input(self, capsys):
+        assert main(["synth"]) == 2
+
+    def test_synth_pla(self, tmp_path, capsys):
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n.ilb a b\n.ob f\n11 1\n00 1\n.e\n")
+        assert main(["synth", "--pla", str(pla), "-o", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "#pi=2" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--max", "4"]) == 0
+        assert "match the paper" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "3x4" in out
+
+    def test_table2_single_instance(self, capsys):
+        assert main(["table2", "--names", "b12_03"]) == 0
+        assert "b12_03" in capsys.readouterr().out
+
+
+class TestRenderCommand:
+    def test_ascii_output(self, capsys):
+        assert main(["render", "ab + a'b'"]) == 0
+        out = capsys.readouterr().out
+        assert "top" in out and "bottom" in out
+
+    def test_svg_output(self, tmp_path, capsys):
+        svg = tmp_path / "lattice.svg"
+        assert main(["render", "ab", "--svg", str(svg)]) == 0
+        content = svg.read_text()
+        assert content.startswith("<svg")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_minterm_highlight_warning(self, capsys):
+        assert main(["render", "ab", "--minterm", "0"]) == 0
+        assert "not in the onset" in capsys.readouterr().out
+
+
+class TestDecomposeCommand:
+    def test_autosymmetric_function(self, capsys):
+        assert main(["decompose", "ab' + a'b"]) == 0
+        out = capsys.readouterr().out
+        assert "autosymmetry degree k = 1" in out
+        assert "a ^ b" in out
+
+    def test_plain_function(self, capsys):
+        assert main(["decompose", "ab + a'c + bc'"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 0" in out
+        assert "D-reducible: no" in out
+
+
+class TestDratCheckCommand:
+    def test_valid_refutation(self, tmp_path, capsys):
+        from repro.sat import CdclSolver, write_drat
+
+        cnf_path = tmp_path / "f.cnf"
+        cnf_path.write_text("p cnf 1 2\n1 0\n-1 0\n")
+        solver = CdclSolver(proof=True)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        proof_path = tmp_path / "f.drat"
+        with open(proof_path, "w") as fh:
+            write_drat(solver.proof, fh)
+        assert main(["drat-check", str(cnf_path), str(proof_path)]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_invalid_refutation(self, tmp_path, capsys):
+        cnf_path = tmp_path / "f.cnf"
+        cnf_path.write_text("p cnf 2 1\n1 2 0\n")
+        proof_path = tmp_path / "f.drat"
+        proof_path.write_text("0\n")
+        assert main(["drat-check", str(cnf_path), str(proof_path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_reports_and_test_set(self, capsys):
+        assert main(["faults", "ab + a'b'"]) == 0
+        out = capsys.readouterr().out
+        assert "testable" in out
+        assert "minimal test set" in out

@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+Each example is compiled and its module executed up to (but not
+including) ``main()`` — full runs are exercised manually / in benches.
+The quickstart's full pipeline *is* executed because it doubles as the
+README contract.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert '"""' in source  # every example carries a docstring header
+    assert "def main()" in source
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[[p.name for p in EXAMPLES].index("quickstart.py")])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "JANUS solution: 3x4" in result.stdout
+    assert "verified" in result.stdout
+
+
+def test_bdd_tour_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[[p.name for p in EXAMPLES].index("bdd_tour.py")])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Minato-Morreale ISOP from the BDD: 36 cubes" in result.stdout
+    assert "functions verified equal" in result.stdout

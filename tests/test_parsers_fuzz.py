@@ -1,0 +1,123 @@
+"""Robustness fuzzing of the text-format parsers.
+
+Two properties for each parser (SOP expressions, DIMACS, PLA, DRAT,
+BLIF): round-trips are lossless on valid inputs, and arbitrary junk
+either parses or raises one of the library's typed errors — never an
+uncontrolled exception (KeyError, IndexError, ...).
+"""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolf import Sop, parse_sop, read_pla
+from repro.errors import ReproError
+from repro.sat import Cnf, VarPool, read_dimacs, write_dimacs
+from repro.sat.drat import read_drat
+from repro.aig import read_blif
+
+ACCEPTED_ERRORS = (ReproError, ValueError)
+
+
+def junk_text():
+    return st.text(
+        alphabet=st.sampled_from(
+            list("abcdef'+~ .01-\n\t|&x123456789pcnfdmoile")
+        ),
+        max_size=120,
+    )
+
+
+class TestSopParser:
+    @given(junk_text())
+    @settings(max_examples=150, deadline=None)
+    def test_never_crashes_uncontrolled(self, text):
+        try:
+            parse_sop(text)
+        except ACCEPTED_ERRORS:
+            pass
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=4), st.booleans()
+                ),
+                min_size=1,
+                max_size=4,
+                unique_by=lambda lit: lit[0],
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_through_text(self, cube_specs):
+        from repro.boolf import Cube
+
+        cubes = [Cube.from_literals(lits, 5) for lits in cube_specs]
+        sop = Sop(cubes, 5)
+        again = parse_sop(sop.to_string(), names=["a", "b", "c", "d", "e"])
+        assert again.to_truthtable() == sop.to_truthtable()
+
+
+class TestDimacs:
+    @given(junk_text())
+    @settings(max_examples=150, deadline=None)
+    def test_never_crashes_uncontrolled(self, text):
+        try:
+            read_dimacs(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-6, max_value=6).filter(bool),
+                min_size=1,
+                max_size=4,
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, clauses):
+        pool = VarPool()
+        for _ in range(6):
+            pool.fresh()
+        cnf = Cnf(pool)
+        for clause in clauses:
+            cnf.add(clause)
+        text = write_dimacs(cnf, comment="fuzz roundtrip")
+        again = read_dimacs(io.StringIO(text))
+        assert [sorted(c) for c in again] == [sorted(c) for c in cnf]
+
+
+class TestDrat:
+    @given(junk_text())
+    @settings(max_examples=150, deadline=None)
+    def test_never_crashes_uncontrolled(self, text):
+        try:
+            read_drat(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
+
+
+class TestPla:
+    @given(junk_text())
+    @settings(max_examples=150, deadline=None)
+    def test_never_crashes_uncontrolled(self, text):
+        try:
+            read_pla(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
+
+
+class TestBlif:
+    @given(junk_text())
+    @settings(max_examples=150, deadline=None)
+    def test_never_crashes_uncontrolled(self, text):
+        try:
+            read_blif(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
