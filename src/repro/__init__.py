@@ -33,6 +33,7 @@ from repro.core import (
     synthesize,
     synthesize_multi,
 )
+from repro.engine import ParallelEngine, ResultCache
 from repro.lattice import CONST0, CONST1, Entry, Grid, LatticeAssignment
 from repro.sat import CdclSolver, Cnf, SolveResult, solve_cnf
 
@@ -67,5 +68,7 @@ __all__ = [
     "Cnf",
     "SolveResult",
     "solve_cnf",
+    "ParallelEngine",
+    "ResultCache",
     "__version__",
 ]

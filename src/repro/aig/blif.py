@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, TextIO
 
-from repro.errors import DimensionError
+from repro.errors import DimensionError, ParseError
 from repro.aig.graph import Aig, AigLit
 
 __all__ = ["BlifModel", "read_blif", "write_blif"]
@@ -97,7 +97,7 @@ def read_blif(stream: TextIO) -> BlifModel:
             current = None
         elif head == ".names":
             if len(tokens) < 2:
-                raise DimensionError(".names needs at least an output")
+                raise ParseError(".names needs at least an output")
             *fanins, output = tokens[1:]
             nodes[output] = (list(fanins), [])
             current = output
@@ -107,20 +107,24 @@ def read_blif(stream: TextIO) -> BlifModel:
             raise DimensionError(f"unsupported BLIF construct {head!r}")
         else:
             if current is None:
-                raise DimensionError(f"cover row outside .names: {tokens}")
+                raise ParseError(f"cover row outside .names: {tokens}")
             fanins, rows = nodes[current]
             if fanins:
                 if len(tokens) != 2:
-                    raise DimensionError(f"bad cover row: {tokens}")
+                    raise ParseError(f"bad cover row: {tokens}")
                 pattern, value = tokens
                 if len(pattern) != len(fanins):
-                    raise DimensionError(
+                    raise ParseError(
                         f"pattern {pattern!r} width != {len(fanins)} fanins"
                     )
             else:
+                if len(tokens) != 1:
+                    raise ParseError(
+                        f"constant node expects a bare output value: {tokens}"
+                    )
                 pattern, value = "", tokens[0]
             if value not in ("0", "1"):
-                raise DimensionError(f"bad output value {value!r}")
+                raise ParseError(f"bad output value {value!r}")
             rows.append((pattern, value))
 
     aig = Aig(len(input_names))
@@ -128,16 +132,10 @@ def read_blif(stream: TextIO) -> BlifModel:
         name: aig.input_lit(i) for i, name in enumerate(input_names)
     }
 
-    def build(signal: str, trail: tuple[str, ...] = ()) -> AigLit:
-        got = literals.get(signal)
-        if got is not None:
-            return got
-        if signal in trail:
-            raise DimensionError(f"combinational cycle through {signal!r}")
-        if signal not in nodes:
-            raise DimensionError(f"undriven signal {signal!r}")
+    def elaborate(signal: str) -> AigLit:
+        """AND/OR network for one ``.names`` node whose fanins are built."""
         fanins, rows = nodes[signal]
-        fanin_lits = [build(f, trail + (signal,)) for f in fanins]
+        fanin_lits = [literals[f] for f in fanins]
         # Split rows by output polarity; BLIF requires a single polarity
         # per node, but we accept either.
         polarity = {value for _, value in rows} or {"1"}
@@ -152,13 +150,39 @@ def read_blif(stream: TextIO) -> BlifModel:
                 elif ch == "0":
                     term = aig.and_(term, fanin_lit ^ 1)
                 elif ch != "-":
-                    raise DimensionError(f"bad pattern character {ch!r}")
+                    raise ParseError(f"bad pattern character {ch!r}")
             products.append(term)
         lit = aig.disjoin(products) if rows else aig.false
         if polarity == {"0"}:
             lit ^= 1
-        literals[signal] = lit
         return lit
+
+    def build(root: str) -> AigLit:
+        # Iterative post-order elaboration: a chain of thousands of gates
+        # is a legitimate netlist and must not hit the recursion limit.
+        got = literals.get(root)
+        if got is not None:
+            return got
+        on_path: set[str] = set()
+        stack: list[tuple[str, bool]] = [(root, False)]
+        while stack:
+            signal, expanded = stack.pop()
+            if expanded:
+                on_path.discard(signal)
+                literals[signal] = elaborate(signal)
+                continue
+            if signal in literals:
+                continue
+            if signal in on_path:
+                raise DimensionError(f"combinational cycle through {signal!r}")
+            if signal not in nodes:
+                raise DimensionError(f"undriven signal {signal!r}")
+            on_path.add(signal)
+            stack.append((signal, True))
+            for fanin in nodes[signal][0]:
+                if fanin not in literals:
+                    stack.append((fanin, False))
+        return literals[root]
 
     outputs = {name: build(name) for name in output_names}
     return BlifModel(model_name, aig, input_names, outputs)

@@ -14,6 +14,11 @@ Profiles keep the default run laptop-sized:
   Python; expect long runtimes, as the authors did with 6-hour budgets).
 
 Select with ``REPRO_BENCH_PROFILE`` or the ``profile`` argument.
+
+Suites shard across worker processes: ``run_table2(..., jobs=4)``
+dispatches one instance per worker and collects rows in deterministic
+(input) order, and ``cache=<dir>`` shares one persistent LM-probe cache
+between all workers and runs (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -21,7 +26,8 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.baselines import (
     approx_restricted,
@@ -112,6 +118,9 @@ class AlgoResult:
     size: int
     wall_time: float
     provably_minimum: bool
+    # The lattice itself as (var, positive) pairs, so determinism checks
+    # (bench_parallel) can compare parallel vs serial runs cell by cell.
+    entries: tuple = ()
 
 
 @dataclass
@@ -131,7 +140,9 @@ class Table2Row:
 
 
 def compute_bounds_report(
-    spec: TargetSpec, options: Optional[JanusOptions] = None
+    spec: TargetSpec,
+    options: Optional[JanusOptions] = None,
+    prober=None,
 ) -> BoundsReport:
     """lb plus old (DP/PS/DPS) and new (+IPS/IDPS/DS) upper bounds."""
     options = options or default_options()
@@ -141,7 +152,7 @@ def compute_bounds_report(
     _best_new, new_all = best_upper_bound(spec, ("dp", "ps", "dps", "ips", "idps"))
     per_method = {k: (v.rows, v.cols) for k, v in new_all.items()}
     try:
-        ds = ub_ds(spec, options)
+        ds = ub_ds(spec, options, prober=prober)
         new_all["ds"] = ds
         per_method["ds"] = (ds.rows, ds.cols)
     except Exception:
@@ -158,17 +169,26 @@ def compute_bounds_report(
 
 
 def run_algorithm(
-    algorithm: str, spec: TargetSpec, options: Optional[JanusOptions] = None
+    algorithm: str,
+    spec: TargetSpec,
+    options: Optional[JanusOptions] = None,
+    prober=None,
 ) -> AlgoResult:
     options = options or default_options()
     fn = ALGORITHMS[algorithm]
-    result: SynthesisResult = fn(spec, options=options)
+    if prober is not None and algorithm == "janus":
+        # Only JANUS speaks the prober protocol; the baselines keep their
+        # own search loops.
+        result: SynthesisResult = fn(spec, options=options, prober=prober)
+    else:
+        result = fn(spec, options=options)
     return AlgoResult(
         algorithm=algorithm,
         shape=result.shape,
         size=result.size,
         wall_time=result.wall_time,
         provably_minimum=result.is_provably_minimum,
+        entries=tuple((e.var, e.positive) for e in result.assignment.entries),
     )
 
 
@@ -176,17 +196,32 @@ def run_table2_instance(
     name: str,
     algorithms: Sequence[str] = ("janus",),
     options: Optional[JanusOptions] = None,
+    cache: Union[str, Path, None] = None,
 ) -> Table2Row:
+    prober = None
+    if cache is not None:
+        from repro.engine import ParallelEngine
+
+        # In-process engine: no nested pool (this already runs inside a
+        # shard worker when jobs > 1), but every probe goes through the
+        # shared on-disk cache.
+        prober = ParallelEngine(jobs=1, cache=cache)
     spec = build_instance(name)
     row = Table2Row(
         name=name,
         spec=spec,
         paper=next(r for r in PAPER_TABLE2 if r.name == name),
-        bounds=compute_bounds_report(spec, options),
+        bounds=compute_bounds_report(spec, options, prober=prober),
     )
     for algorithm in algorithms:
-        row.results[algorithm] = run_algorithm(algorithm, spec, options)
+        row.results[algorithm] = run_algorithm(algorithm, spec, options, prober)
     return row
+
+
+def _instance_task(args: tuple) -> Table2Row:
+    """Module-level shard task (must be picklable for the pool)."""
+    name, algorithms, options, cache = args
+    return run_table2_instance(name, algorithms, options, cache=cache)
 
 
 def run_table2(
@@ -194,11 +229,29 @@ def run_table2(
     algorithms: Sequence[str] = ("janus",),
     options: Optional[JanusOptions] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Union[str, Path, None] = None,
 ) -> list[Table2Row]:
+    """Run Table II instances, optionally sharded across ``jobs`` workers.
+
+    Rows come back in input order regardless of which worker finishes
+    first, so parallel runs produce the same report as serial ones.
+    """
     names = list(names) if names is not None else profile_names()
-    rows = []
-    for name in names:
-        row = run_table2_instance(name, algorithms, options)
+    cache = str(cache) if cache is not None else None
+    tasks = [(name, tuple(algorithms), options, cache) for name in names]
+    rows: list[Table2Row] = []
+    if jobs > 1:
+        from repro.engine import ParallelEngine
+
+        with ParallelEngine(jobs=jobs) as engine:
+            for row in engine.imap_ordered(_instance_task, tasks):
+                rows.append(row)
+                if verbose:
+                    print(format_table2([row], header=len(rows) == 1))
+        return rows
+    for task in tasks:
+        row = _instance_task(task)
         rows.append(row)
         if verbose:
             print(format_table2([row], header=len(rows) == 1))

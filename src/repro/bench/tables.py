@@ -118,11 +118,15 @@ def table2(
     algorithms: Sequence[str] = ("janus",),
     names: Optional[Sequence[str]] = None,
     verbose: bool = True,
+    jobs: int = 1,
+    cache=None,
 ) -> tuple[list[Table2Row], str]:
     """Run the Table II comparison for a profile; returns (rows, report)."""
     options = default_options(profile)
     use = names if names is not None else profile_names(profile)
-    rows = run_table2(use, algorithms, options, verbose=verbose)
+    rows = run_table2(
+        use, algorithms, options, verbose=verbose, jobs=jobs, cache=cache
+    )
     report = format_table2(rows)
     summary = _table2_summary(rows)
     return rows, report + "\n" + summary

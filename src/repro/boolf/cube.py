@@ -81,6 +81,12 @@ class Cube:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Cube is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restoration;
+        # rebuild through the constructor instead (cubes cross process
+        # boundaries inside the parallel engine's solve requests).
+        return (Cube, (self.pos, self.neg, self.num_vars))
+
     # ------------------------------------------------------------- builders
     @classmethod
     def top(cls, num_vars: int) -> "Cube":

@@ -22,6 +22,10 @@ from repro.boolf.truthtable import TruthTable
 
 __all__ = ["PlaFile", "read_pla", "write_pla"]
 
+# Declared sizes beyond this are junk (or a denial-of-service attempt):
+# the largest LGSynth91 PLAs stay in the hundreds of inputs/outputs.
+_MAX_DECLARED = 1 << 16
+
 
 @dataclass
 class PlaFile:
@@ -47,6 +51,28 @@ class PlaFile:
         return dc - self.output_truthtable(index)
 
 
+def _directive_count(parts: Sequence[str], line: str) -> int:
+    """The single non-negative integer operand of ``.i``/``.o``/``.p``."""
+    if len(parts) != 2:
+        raise ParseError(
+            f"directive {parts[0]!r} expects exactly one operand: {line!r}"
+        )
+    try:
+        value = int(parts[1])
+    except ValueError:
+        raise ParseError(
+            f"non-integer operand for {parts[0]!r}: {line!r}"
+        ) from None
+    if value < 0:
+        raise ParseError(f"negative count for {parts[0]!r}: {line!r}")
+    if value > _MAX_DECLARED:
+        raise ParseError(
+            f"declared size {value} for {parts[0]!r} exceeds the "
+            f"{_MAX_DECLARED} limit"
+        )
+    return value
+
+
 def read_pla(source: Union[str, TextIO]) -> PlaFile:
     """Parse PLA text (a string or an open file)."""
     if isinstance(source, str):
@@ -66,17 +92,23 @@ def read_pla(source: Union[str, TextIO]) -> PlaFile:
             parts = line.split()
             directive = parts[0]
             if directive == ".i":
-                num_inputs = int(parts[1])
+                num_inputs = _directive_count(parts, line)
             elif directive == ".o":
-                num_outputs = int(parts[1])
+                num_outputs = _directive_count(parts, line)
             elif directive == ".ilb":
                 input_names = parts[1:]
             elif directive == ".ob":
                 output_names = parts[1:]
             elif directive == ".p":
-                pass  # informative only
+                _directive_count(parts, line)  # informative, but well-formed
             elif directive == ".type":
+                if len(parts) != 2:
+                    raise ParseError(
+                        f".type expects exactly one operand: {line!r}"
+                    )
                 pla_type = parts[1]
+                if pla_type not in ("f", "r", "fd", "fr", "fdr"):
+                    raise ParseError(f"unsupported PLA type {pla_type!r}")
             elif directive == ".e" or directive == ".end":
                 break
             else:

@@ -4,15 +4,22 @@ Subcommands::
 
     janus synth "ab + a'b'c"          synthesize one function
     janus synth --pla file.pla -o 0   synthesize a PLA output
+    janus synth "..." --jobs 4 --cache ~/.janus-cache   parallel + cached
     janus table1 [--max 8]            regenerate Table I
     janus fig4                        regenerate the Fig. 4 bound example
     janus table2 [--profile fast] [--algorithms janus,exact,...]
+    janus table2 --jobs 4 --cache DIR shard instances across workers
     janus table3 [--names squar5,misex1,bw]
+
+``--jobs 0`` means "one worker per CPU".  ``--cache DIR`` persists every
+decisive LM probe result keyed by a canonical function signature, so
+repeated runs skip SAT work entirely (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -43,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument(
         "--time-limit", type=float, default=None, help="wall seconds per LM"
     )
+    p_synth.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes racing candidate shapes (0 = all CPUs)",
+    )
+    p_synth.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent LM result cache directory",
+    )
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I (product counts)")
     p_t1.add_argument("--max", type=int, default=8, help="largest m and n")
@@ -62,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list: janus,exact,approx,heuristic,pcircuit",
     )
     p_t2.add_argument("--names", default=None, help="comma list of instances")
+    p_t2.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard instances across this many worker processes (0 = all CPUs)",
+    )
+    p_t2.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent LM result cache shared by all workers",
+    )
 
     p_t3 = sub.add_parser("table3", help="run the Table III comparison")
     p_t3.add_argument("--names", default="squar5,misex1,bw")
@@ -122,7 +153,20 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     options = JanusOptions(
         max_conflicts=args.max_conflicts, lm_time_limit=args.time_limit
     )
-    result = synthesize(spec, options=options)
+    if args.jobs != 1 or args.cache:
+        from repro.engine import ParallelEngine
+
+        jobs = args.jobs if args.jobs != 0 else None
+        with ParallelEngine(jobs=jobs, cache=args.cache) as engine:
+            result = engine.synthesize(spec, options=options)
+            stats = engine.stats
+        print(
+            f"engine    : jobs={jobs or 'auto'} "
+            f"solver_calls={stats.solver_calls} "
+            f"cache hits/misses={stats.cache_hits}/{stats.cache_misses}"
+        )
+    else:
+        result = synthesize(spec, options=options)
     print(f"target    : {spec.name} (#in={spec.num_inputs}, "
           f"#pi={spec.num_products}, degree={spec.degree})")
     print(f"isop      : {spec.isop.to_string()}")
@@ -158,8 +202,13 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         if args.names
         else None
     )
+    jobs = args.jobs if args.jobs != 0 else (os.cpu_count() or 1)
     _rows, report = table2(
-        profile=args.profile, algorithms=algorithms, names=names
+        profile=args.profile,
+        algorithms=algorithms,
+        names=names,
+        jobs=jobs,
+        cache=args.cache,
     )
     print(report)
     return 0
@@ -263,6 +312,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -276,7 +327,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "drat-check": _cmd_drat_check,
         "faults": _cmd_faults,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # Malformed inputs (bad PLA/BLIF/DIMACS files, inconsistent
+        # specs) are user errors, not crashes: report them cleanly.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

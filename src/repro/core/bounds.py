@@ -49,6 +49,7 @@ __all__ = [
     "ub_ips",
     "ub_idps",
     "best_upper_bound",
+    "combine_bounds",
     "UB_METHODS",
 ]
 
@@ -472,6 +473,20 @@ UB_METHODS: dict[str, Callable[[TargetSpec], BoundResult]] = {
 }
 
 
+def combine_bounds(
+    spec: TargetSpec, results: dict[str, BoundResult]
+) -> tuple[BoundResult, dict[str, BoundResult]]:
+    """Pick the winning bound with the canonical tie-break (size, rows).
+
+    Shared by the serial path and the parallel engine so both select the
+    same winner from the same per-method results.
+    """
+    if not results:
+        raise SynthesisError(f"no upper-bound construction succeeded on {spec.name}")
+    best = min(results.values(), key=lambda r: (r.size, r.rows))
+    return best, results
+
+
 def best_upper_bound(
     spec: TargetSpec, methods: tuple[str, ...] = ("dp", "ps", "dps", "ips", "idps")
 ) -> tuple[BoundResult, dict[str, BoundResult]]:
@@ -482,7 +497,4 @@ def best_upper_bound(
             results[name] = UB_METHODS[name](spec)
         except SynthesisError:
             continue
-    if not results:
-        raise SynthesisError(f"no upper-bound construction succeeded on {spec.name}")
-    best = min(results.values(), key=lambda r: (r.size, r.rows))
-    return best, results
+    return combine_bounds(spec, results)

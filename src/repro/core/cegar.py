@@ -42,7 +42,7 @@ from repro.sat.cnf import Cnf
 from repro.sat.encodings import exactly_one
 from repro.sat.solver import CdclSolver
 
-__all__ = ["CegarStats", "CegarOutcome", "solve_lm_cegar"]
+__all__ = ["CegarStats", "CegarOutcome", "solve_lm_cegar", "solve_lm_lazy"]
 
 
 @dataclass
@@ -77,8 +77,15 @@ def solve_lm_cegar(
     options: EncodeOptions = EncodeOptions(),
     max_conflicts: Optional[int] = 200_000,
     max_iterations: Optional[int] = None,
+    max_time: Optional[float] = None,
 ) -> CegarOutcome:
-    """Decide the LM instance lazily; see the module docstring."""
+    """Decide the LM instance lazily; see the module docstring.
+
+    ``max_conflicts`` budgets each incremental solver call and ``max_time``
+    caps the whole refinement loop (checked between iterations and passed
+    through to the solver) — the per-worker budgets the parallel engine
+    relies on to keep portfolio losers from running away.
+    """
     start = time.monotonic()
     stats = CegarStats()
 
@@ -87,6 +94,9 @@ def solve_lm_cegar(
     const0_idx = tl.index(CONST0)
     const1_idx = tl.index(CONST1)
     num_cells = rows * cols
+    if len(top_bottom_paths(rows, cols)) > options.max_products:
+        stats.wall_time = time.monotonic() - start
+        return CegarOutcome("unknown", stats=stats)
     products = top_bottom_paths(rows, cols)
     product_cells = [
         [i for i in range(num_cells) if mask >> i & 1] for mask in products
@@ -109,7 +119,7 @@ def solve_lm_cegar(
             method=options.eo_method,
         )
 
-    solver = CdclSolver(max_conflicts=max_conflicts)
+    solver = CdclSolver(max_conflicts=max_conflicts, max_time=max_time)
     fed = 0
 
     def feed() -> bool:
@@ -176,6 +186,8 @@ def solve_lm_cegar(
     limit = max_iterations if max_iterations is not None else 1 << 62
 
     while stats.iterations < limit:
+        if max_time is not None and time.monotonic() - start > max_time:
+            break
         stats.iterations += 1
         if not feed():
             stats.clauses = len(cnf.clauses)
@@ -224,3 +236,42 @@ def solve_lm_cegar(
     stats.clauses = len(cnf.clauses)
     stats.wall_time = time.monotonic() - start
     return CegarOutcome("unknown", stats=stats)
+
+
+def solve_lm_lazy(spec: TargetSpec, rows: int, cols: int, options=None):
+    """CEGAR-backed drop-in for :func:`repro.core.janus.solve_lm`.
+
+    Accepts the same :class:`~repro.core.janus.JanusOptions` and returns
+    the same :class:`~repro.core.janus.LmOutcome`, which is what lets the
+    parallel engine race the eager and lazy backends as a portfolio on a
+    single LM instance.
+    """
+    from dataclasses import replace
+
+    from repro.core.janus import JanusOptions, LmAttempt, LmOutcome
+    from repro.core.structural import structural_check
+
+    if options is None:
+        options = JanusOptions()
+    start = time.monotonic()
+    attempt = LmAttempt(rows=rows, cols=cols, status="structural", side="cegar")
+    if not structural_check(spec, rows, cols):
+        attempt.wall_time = time.monotonic() - start
+        return LmOutcome("unsat", None, attempt)
+    enc_options = replace(
+        options.encode, max_products=options.max_lattice_products
+    )
+    outcome = solve_lm_cegar(
+        spec,
+        rows,
+        cols,
+        enc_options,
+        max_conflicts=options.max_conflicts,
+        max_time=options.lm_time_limit,
+    )
+    attempt.status = outcome.status
+    attempt.wall_time = time.monotonic() - start
+    assignment = outcome.assignment
+    if assignment is not None and options.trim_solutions:
+        assignment = assignment.trimmed()
+    return LmOutcome(outcome.status, assignment, attempt)

@@ -52,8 +52,13 @@ def _combine(
     return LatticeAssignment.hstack([left, right], isolation=CONST0, pad_fill=CONST1)
 
 
-def ub_ds(spec: TargetSpec, options=None) -> BoundResult:
-    """The DS upper bound: partition, synthesize, combine, shrink."""
+def ub_ds(spec: TargetSpec, options=None, prober=None) -> BoundResult:
+    """The DS upper bound: partition, synthesize, combine, shrink.
+
+    ``prober`` (see :class:`repro.core.janus.SerialProber`) is threaded
+    into the recursive JANUS calls so a parallel/cached engine covers the
+    sub-syntheses too.
+    """
     from repro.core.janus import JanusOptions, make_spec, synthesize
 
     if options is None:
@@ -65,15 +70,19 @@ def ub_ds(spec: TargetSpec, options=None) -> BoundResult:
     g, h = partition_products(spec.isop)
     g_spec = make_spec(g, name=f"{spec.name}.g")
     h_spec = make_spec(h, name=f"{spec.name}.h")
-    g_res = synthesize(g_spec, options=sub_options)
-    h_res = synthesize(h_spec, options=sub_options)
+    g_res = synthesize(g_spec, options=sub_options, prober=prober)
+    h_res = synthesize(h_spec, options=sub_options, prober=prober)
 
     combined = _combine(g_res.assignment, h_res.assignment)
     if not combined.realizes(spec.tt):
         raise SynthesisError("DS combination failed verification")
 
     best = shrink_rows(
-        spec, [g_spec, h_spec], [g_res.assignment, h_res.assignment], sub_options
+        spec,
+        [g_spec, h_spec],
+        [g_res.assignment, h_res.assignment],
+        sub_options,
+        prober=prober,
     )
     if best is not None and best.size < combined.size:
         combined = best
@@ -85,6 +94,7 @@ def shrink_rows(
     sub_specs: list[TargetSpec],
     sub_assignments: list[LatticeAssignment],
     options,
+    prober=None,
 ) -> Optional[LatticeAssignment]:
     """Step 3 of DS: explore combinations with fewer rows.
 
@@ -111,7 +121,9 @@ def shrink_rows(
             # lattice past the best known cost.
             others = sum(a.cols for a in current if a is not assignment)
             max_cols = max(1, best_cost // target_rows - others - len(current) + 1)
-            fitted = fit_columns(sub_spec, target_rows, max_cols, options)
+            fitted = fit_columns(
+                sub_spec, target_rows, max_cols, options, prober=prober
+            )
             if fitted is None:
                 ok = False
                 break

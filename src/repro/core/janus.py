@@ -39,6 +39,8 @@ __all__ = [
     "JanusOptions",
     "LmAttempt",
     "LmOutcome",
+    "SerialProber",
+    "SERIAL_PROBER",
     "SynthesisResult",
     "solve_lm",
     "synthesize",
@@ -82,6 +84,7 @@ class LmAttempt:
     complexity: int = 0
     conflicts: int = 0
     wall_time: float = 0.0
+    cached: bool = False  # answered from a persistent result cache
 
 
 @dataclass
@@ -213,6 +216,51 @@ def solve_lm(
     return LmOutcome("sat", assignment, attempt)
 
 
+# ----------------------------------------------------------------- probers
+class SerialProber:
+    """Default LM probe strategy: solve instances one at a time, in order.
+
+    The JANUS driver talks to its SAT backend exclusively through this
+    three-method interface, which is what lets
+    :class:`repro.engine.ParallelEngine` substitute a process-pool/cached
+    implementation without touching the search logic.  Any replacement must
+    preserve the *serial semantics*: ``first_sat`` returns the first shape
+    (in the given order) that answers SAT, and appends one attempt per
+    probed shape, stopping at the winner — so results stay byte-identical
+    to this prober no matter how the probes are scheduled physically.
+    """
+
+    def solve(
+        self,
+        spec: TargetSpec,
+        rows: int,
+        cols: int,
+        options: JanusOptions,
+    ) -> LmOutcome:
+        return solve_lm(spec, rows, cols, options)
+
+    def upper_bounds(self, spec: TargetSpec, methods: tuple[str, ...]):
+        return best_upper_bound(spec, methods)
+
+    def first_sat(
+        self,
+        spec: TargetSpec,
+        shapes: list[tuple[int, int]],
+        options: JanusOptions,
+        attempts: list[LmAttempt],
+    ) -> Optional[LatticeAssignment]:
+        """Probe ``shapes`` in order; return the first SAT assignment."""
+        for rows, cols in shapes:
+            outcome = self.solve(spec, rows, cols, options)
+            attempts.append(outcome.attempt)
+            if outcome.status == "sat":
+                return outcome.assignment
+        return None
+
+
+SERIAL_PROBER = SerialProber()
+
+
 # ------------------------------------------------------------ search pieces
 def candidate_shapes(area: int, lower_bound: int = 1) -> list[tuple[int, int]]:
     """Maximal lattice shapes of area at most ``area``.
@@ -246,6 +294,7 @@ def fit_columns(
     max_cols: int,
     options: JanusOptions = JanusOptions(),
     attempts: Optional[list[LmAttempt]] = None,
+    prober: Optional[SerialProber] = None,
 ) -> Optional[LatticeAssignment]:
     """Smallest-width realization on a fixed number of rows.
 
@@ -254,10 +303,11 @@ def fit_columns(
     within budgets.  Used by the DS bound, JANUS-MF and the [11]-style
     baseline.
     """
+    prober = prober or SERIAL_PROBER
     lo, hi = 1, max_cols
     best: Optional[LatticeAssignment] = None
     # First make sure the widest lattice works at all.
-    outcome = solve_lm(spec, rows, max_cols, options)
+    outcome = prober.solve(spec, rows, max_cols, options)
     if attempts is not None:
         attempts.append(outcome.attempt)
     if outcome.status != "sat":
@@ -266,7 +316,7 @@ def fit_columns(
     hi = max_cols - 1
     while lo <= hi:
         mid = (lo + hi) // 2
-        outcome = solve_lm(spec, rows, mid, options)
+        outcome = prober.solve(spec, rows, mid, options)
         if attempts is not None:
             attempts.append(outcome.attempt)
         if outcome.status == "sat":
@@ -317,9 +367,18 @@ def synthesize(
     target: Union[TargetSpec, Sop, TruthTable, str],
     name: str = "f",
     options: JanusOptions = JanusOptions(),
+    prober: Optional[SerialProber] = None,
 ) -> SynthesisResult:
-    """Run JANUS on a target function and return the best found lattice."""
+    """Run JANUS on a target function and return the best found lattice.
+
+    ``prober`` selects the LM probe backend; the default solves serially
+    in-process.  Pass a :class:`repro.engine.ParallelEngine` to race the
+    candidate shapes of each dichotomic step across worker processes
+    and/or answer repeated probes from a persistent cache — the search
+    decisions (and therefore the result) are identical either way.
+    """
     start = time.monotonic()
+    prober = prober or SERIAL_PROBER
     spec = make_spec(target, name=name, exact=options.exact_minimization)
     trivial = _trivial_result(spec)
     if trivial is not None:
@@ -333,12 +392,12 @@ def synthesize(
     if options.ds_depth <= 0:
         methods = tuple(m for m in methods if m != "ds")
     basic_methods = tuple(m for m in methods if m != "ds")
-    best_bound, all_bounds = best_upper_bound(spec, basic_methods)
+    best_bound, all_bounds = prober.upper_bounds(spec, basic_methods)
     if "ds" in methods:
         from repro.core.decompose import ub_ds  # lazy: DS calls back into JANUS
 
         try:
-            ds_bound = ub_ds(spec, options)
+            ds_bound = ub_ds(spec, options, prober=prober)
             all_bounds["ds"] = ds_bound
             if ds_bound.size < best_bound.size:
                 best_bound = ds_bound
@@ -353,13 +412,7 @@ def synthesize(
 
     while lb < ub:
         mp = (lb + ub) // 2
-        found: Optional[LatticeAssignment] = None
-        for rows, cols in candidate_shapes(mp, lb):
-            outcome = solve_lm(spec, rows, cols, options)
-            attempts.append(outcome.attempt)
-            if outcome.status == "sat":
-                found = outcome.assignment
-                break
+        found = prober.first_sat(spec, candidate_shapes(mp, lb), options, attempts)
         if found is not None:
             best_assignment = found
             ub = found.size

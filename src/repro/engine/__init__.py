@@ -1,0 +1,44 @@
+"""Parallel synthesis engine: process-pool probe racing + result caching.
+
+Architecture (one paragraph per layer):
+
+* :mod:`repro.engine.signature` — canonical cache keys.  An LM probe is
+  identified by the target's truth-table/don't-care bits and covers, the
+  lattice shape, and an options fingerprint; names are excluded so
+  cosmetic differences never fragment the cache.
+* :mod:`repro.engine.cache` — a persistent on-disk store of probe
+  results (JSON payloads under sharded directories, atomic writes), safe
+  to share between concurrent processes and runs.
+* :mod:`repro.engine.worker` — picklable requests and module-level
+  functions that execute inside ``ProcessPoolExecutor`` workers, each
+  enforcing its own conflict/wall-clock budgets.
+* :mod:`repro.engine.parallel` — :class:`ParallelEngine`, the
+  :class:`~repro.core.janus.SerialProber` replacement that races sibling
+  candidate shapes, answers repeats from the cache, and (optionally)
+  runs an eager-vs-CEGAR portfolio per probe.
+
+The engine plugs into the existing entry points rather than replacing
+them: ``synthesize(..., prober=engine)``, ``run_table2(..., jobs=4,
+cache=dir)``, and the CLI's ``--jobs``/``--cache`` flags.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import EngineStats, ParallelEngine, default_jobs
+from repro.engine.signature import (
+    lm_cache_key,
+    options_fingerprint,
+    spec_fingerprint,
+)
+from repro.engine.worker import LmRequest, run_lm_request
+
+__all__ = [
+    "EngineStats",
+    "LmRequest",
+    "ParallelEngine",
+    "ResultCache",
+    "default_jobs",
+    "lm_cache_key",
+    "options_fingerprint",
+    "run_lm_request",
+    "spec_fingerprint",
+]

@@ -1,0 +1,95 @@
+"""Persistent on-disk result cache for LM probes.
+
+Layout: one JSON file per result under ``<root>/<key[:2]>/<key>.json``,
+where ``key`` is the SHA-256 from :mod:`repro.engine.signature`.  The
+two-level fan-out keeps directories small when millions of instances
+accumulate.  Writes go through a temp file + :func:`os.replace`, so a
+cache directory shared by many worker processes (or many concurrent
+runs) never serves a torn file; the worst concurrent case is two workers
+computing the same result and one rename winning, which is harmless.
+
+Only *decisive* outcomes are stored: ``sat``/``unsat`` always, and
+``unknown`` only when it was produced by a deterministic conflict budget
+(no wall-clock limit), since a time-based unknown on one machine says
+nothing about another.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import CacheError
+
+__all__ = ["ResultCache"]
+
+_FORMAT = 1
+
+
+class ResultCache:
+    """A directory of JSON result payloads keyed by content hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(f"cannot use cache directory {root!r}: {exc}") from exc
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store a payload (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = dict(payload)
+        record["format"] = _FORMAT
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r})"

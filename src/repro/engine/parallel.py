@@ -1,0 +1,362 @@
+"""Process-pool portfolio/batch synthesis engine.
+
+:class:`ParallelEngine` is a drop-in :class:`~repro.core.janus.SerialProber`
+replacement that scales JANUS three ways without changing its answers:
+
+* **Shape racing** — each dichotomic step of the search probes a list of
+  maximal candidate shapes.  The engine dispatches every sibling
+  ``(rows, cols)`` probe to a worker process up front, then consumes the
+  outcomes *in candidate order*; as soon as the first SAT shape (in that
+  order) is known, pending losers are cancelled.  Because the winner is
+  chosen by candidate order, not completion order, the search makes
+  exactly the decisions the serial prober would — results are
+  byte-identical, only the wall clock shrinks.
+
+* **Result caching** — probes are keyed by a canonical function signature
+  (truth-table/cover hash + options fingerprint + shape, see
+  :mod:`repro.engine.signature`) in a persistent on-disk
+  :class:`~repro.engine.cache.ResultCache`.  Repeated workloads skip
+  solved instances entirely: a warm run performs zero SAT solver calls
+  (``EngineStats.solver_calls == 0``).  Race losers that complete anyway
+  are harvested into the cache instead of wasted.
+
+* **Portfolio probes** (opt-in) — ``portfolio=True`` races the eager
+  paper encoding against the lazy CEGAR backend per instance and takes
+  the first decisive answer.  This can change which (equally valid)
+  lattice is found, so it is off by default and never used inside the
+  deterministic shape race.
+
+Workers are plain ``ProcessPoolExecutor`` processes executing the
+module-level functions in :mod:`repro.engine.worker`; every request
+carries its own budgets (conflicts and optional wall clock), so a runaway
+probe can exhaust only its own worker.  ``jobs=1`` disables the pool but
+keeps the cache, which is what nested engines inside suite-sharding
+workers use.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.core.bounds import best_upper_bound, combine_bounds
+from repro.core.janus import (
+    JanusOptions,
+    LmAttempt,
+    LmOutcome,
+    SerialProber,
+    SynthesisResult,
+    solve_lm,
+)
+from repro.core.janus import synthesize as _synthesize
+from repro.core.target import TargetSpec
+from repro.engine.cache import ResultCache
+from repro.engine.signature import lm_cache_key
+from repro.engine.worker import (
+    LmRequest,
+    bound_from_payload,
+    outcome_from_payload,
+    outcome_payload,
+    run_bound_request,
+    run_lm_request,
+)
+from repro.lattice.assignment import LatticeAssignment
+
+__all__ = ["EngineStats", "ParallelEngine", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class EngineStats:
+    """Work accounting for one engine lifetime.
+
+    ``solver_calls`` counts LM probes that actually ran a SAT solver
+    (locally or in a worker) — a warm-cache run keeps it at zero, which
+    is the property the cache tests pin down.
+    """
+
+    solver_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    dispatched: int = 0  # probes submitted to the pool
+    cancelled: int = 0  # pool probes cancelled before they started
+    harvested: int = 0  # race losers whose finished results fed the cache
+    conflicts: int = 0  # aggregate SAT conflicts over computed probes
+    bound_tasks: int = 0
+
+
+class ParallelEngine(SerialProber):
+    """Parallel, cache-aware LM probe backend for JANUS.
+
+    Use as a context manager (the process pool holds OS resources)::
+
+        with ParallelEngine(jobs=4, cache="~/.cache/janus") as engine:
+            result = engine.synthesize("ab + a'b'c")
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Union[ResultCache, str, Path, None] = None,
+        portfolio: bool = False,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.portfolio = portfolio
+        self.stats = EngineStats()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.jobs <= 1 or self._closed:
+            return None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._closed = True
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- cache
+    def _cacheable(self, payload: dict, options: JanusOptions) -> bool:
+        if payload["status"] in ("sat", "unsat"):
+            return True
+        # A budget "unknown" is only reproducible when the budget is a
+        # deterministic conflict count, not a wall clock.
+        return options.lm_time_limit is None
+
+    def _cache_get(
+        self, key: str, spec: TargetSpec, options: JanusOptions
+    ) -> Optional[LmOutcome]:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is None:
+            self.stats.cache_misses += 1
+            return None
+        self.stats.cache_hits += 1
+        return outcome_from_payload(payload, spec, cached=True)
+
+    def _cache_put(
+        self, key: str, payload: dict, options: JanusOptions
+    ) -> None:
+        if self.cache is not None and self._cacheable(payload, options):
+            self.cache.put(key, payload)
+
+    # ---------------------------------------------------------------- probes
+    def _record(self, outcome: LmOutcome) -> LmOutcome:
+        self.stats.solver_calls += 1
+        self.stats.conflicts += outcome.attempt.conflicts
+        return outcome
+
+    def solve(
+        self,
+        spec: TargetSpec,
+        rows: int,
+        cols: int,
+        options: JanusOptions,
+    ) -> LmOutcome:
+        """One cache-aware probe (used by ``fit_columns`` and callers)."""
+        race = self.portfolio and self.jobs > 1 and not self._closed
+        # Portfolio results may come from the CEGAR backend and need not
+        # match the eager lattice, so they live under their own key —
+        # they must never poison a deterministic run sharing the cache.
+        key = lm_cache_key(
+            spec, rows, cols, options, backend="portfolio" if race else "eager"
+        )
+        hit = self._cache_get(key, spec, options)
+        if hit is not None:
+            return hit
+        if race and self._pool is not None:
+            outcome = self._solve_portfolio(spec, rows, cols, options)
+        else:
+            outcome = solve_lm(spec, rows, cols, options)
+        self._record(outcome)
+        self._cache_put(key, outcome_payload(outcome), options)
+        return outcome
+
+    def _solve_portfolio(
+        self,
+        spec: TargetSpec,
+        rows: int,
+        cols: int,
+        options: JanusOptions,
+    ) -> LmOutcome:
+        """Race the eager and lazy backends; first decisive answer wins."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        pool = self._pool
+        assert pool is not None
+        futures = {
+            pool.submit(
+                run_lm_request, LmRequest(spec, rows, cols, options, backend)
+            ): backend
+            for backend in ("eager", "lazy")
+        }
+        self.stats.dispatched += len(futures)
+        best: Optional[LmOutcome] = None
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                outcome = outcome_from_payload(fut.result(), spec)
+                if outcome.status in ("sat", "unsat"):
+                    for other in pending:
+                        if other.cancel():
+                            self.stats.cancelled += 1
+                    return outcome
+                best = outcome
+        assert best is not None  # both backends returned "unknown"
+        return best
+
+    def first_sat(
+        self,
+        spec: TargetSpec,
+        shapes: Sequence[tuple[int, int]],
+        options: JanusOptions,
+        attempts: list[LmAttempt],
+    ) -> Optional[LatticeAssignment]:
+        """Race sibling candidate shapes; first SAT *in candidate order*.
+
+        Mirrors the serial prober's contract exactly: one attempt per
+        probed shape, stopping at the winner, so the driver's decisions
+        (and final lattice) do not depend on completion order.
+        """
+        self.stats.batches += 1
+        shapes = list(shapes)
+        keys = [lm_cache_key(spec, r, c, options) for r, c in shapes]
+        outcomes: dict[int, LmOutcome] = {}
+        # A cached SAT outcome decides the batch at its index: later
+        # shapes can never win, so neither look them up nor probe them.
+        decided = len(shapes)
+        for i, key in enumerate(keys):
+            hit = self._cache_get(key, spec, options)
+            if hit is not None:
+                outcomes[i] = hit
+                if hit.status == "sat":
+                    decided = i + 1
+                    break
+
+        pool = self._pool
+        futures: dict[int, Future] = {}
+        if pool is not None:
+            for i, (rows, cols) in enumerate(shapes[:decided]):
+                if i in outcomes:
+                    continue
+                futures[i] = pool.submit(
+                    run_lm_request, LmRequest(spec, rows, cols, options)
+                )
+                self.stats.dispatched += 1
+
+        winner: Optional[LatticeAssignment] = None
+        for i, (rows, cols) in enumerate(shapes):
+            outcome = outcomes.get(i)
+            if outcome is None:
+                fut = futures.pop(i, None)
+                if fut is not None:
+                    outcome = outcome_from_payload(fut.result(), spec)
+                else:  # no pool: solve locally, in order
+                    outcome = solve_lm(spec, rows, cols, options)
+                self._record(outcome)
+                self._cache_put(keys[i], outcome_payload(outcome), options)
+            attempts.append(outcome.attempt)
+            if outcome.status == "sat":
+                winner = outcome.assignment
+                break
+
+        # Losers: cancel what never started; results that still complete
+        # are harvested into the cache by a done-callback (free warm-up).
+        for i, fut in futures.items():
+            if fut.cancel():
+                self.stats.cancelled += 1
+            else:
+                fut.add_done_callback(self._harvester(keys[i], options))
+        return winner
+
+    def _harvester(self, key: str, options: JanusOptions) -> Callable:
+        def harvest(fut: Future) -> None:
+            if fut.cancelled() or fut.exception() is not None:
+                return
+            self.stats.harvested += 1
+            self._cache_put(key, fut.result(), options)
+
+        return harvest
+
+    # ---------------------------------------------------------------- bounds
+    def upper_bounds(self, spec: TargetSpec, methods: tuple[str, ...]):
+        """Run the constructive bound methods across the pool.
+
+        Results are combined with the same tie-break as the serial path
+        (:func:`repro.core.bounds.combine_bounds`), so the chosen initial
+        bound is identical.
+        """
+        pool = self._pool
+        if pool is None or len(methods) <= 1:
+            return best_upper_bound(spec, methods)
+        payloads = pool.map(
+            run_bound_request, [(spec, m) for m in methods], chunksize=1
+        )
+        self.stats.bound_tasks += len(methods)
+        results = {
+            method: bound_from_payload(payload, spec)
+            for method, payload in zip(methods, payloads)
+            if payload is not None
+        }
+        return combine_bounds(spec, results)
+
+    # ---------------------------------------------------------------- driver
+    def synthesize(
+        self,
+        target,
+        name: str = "f",
+        options: JanusOptions = JanusOptions(),
+    ) -> SynthesisResult:
+        """Run JANUS with this engine as the probe backend."""
+        return _synthesize(target, name=name, options=options, prober=self)
+
+    def imap_ordered(self, fn: Callable, items: Iterable):
+        """Apply a picklable function across the pool, yielding results in
+        input order as they become available.
+
+        Falls back to a plain serial map when the engine has no pool —
+        callers get deterministic ordering either way.
+        """
+        items = list(items)
+        pool = self._pool
+        if pool is None:
+            for item in items:
+                yield fn(item)
+            return
+        yield from pool.map(fn, items, chunksize=1)
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Like :meth:`imap_ordered` but collected into a list."""
+        return list(self.imap_ordered(fn, items))
+
+    def __repr__(self) -> str:
+        cache = self.cache.root if self.cache is not None else None
+        return (
+            f"ParallelEngine(jobs={self.jobs}, cache={str(cache)!r}, "
+            f"portfolio={self.portfolio})"
+        )

@@ -1,0 +1,91 @@
+"""Canonical function signatures and cache keys.
+
+The persistent result cache must recognize "the same LM instance" across
+runs, processes and machines.  Two probes are the same instance exactly
+when they agree on
+
+* the target function — onset truth table plus don't-care set,
+* the covers JANUS encodes from (the minimized ISOP and its dual; these
+  are derived deterministically from the table, but a caller may supply
+  custom covers, so they are hashed rather than assumed),
+* the lattice shape ``rows x cols``, and
+* every option that can change the probe's answer (SAT budgets, encoding
+  knobs, verification/trim flags).
+
+Variable *names* and the target's display name are deliberately excluded:
+they are cosmetic and must not fragment the cache.  Keys are SHA-256 over
+a canonical JSON rendering, so they are stable across Python versions and
+usable as filenames.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Optional
+
+from repro.core.janus import JanusOptions
+from repro.core.target import TargetSpec
+
+__all__ = [
+    "spec_fingerprint",
+    "options_fingerprint",
+    "lm_cache_key",
+]
+
+_KEY_VERSION = 1  # bump when the encoding or solver behavior changes
+
+
+def _tt_hex(tt) -> str:
+    """Truth-table bits as hex (packed little-endian by minterm index)."""
+    import numpy as np
+
+    return np.packbits(tt.values, bitorder="little").tobytes().hex()
+
+
+def spec_fingerprint(spec: TargetSpec) -> dict:
+    """Canonical, JSON-able identity of a synthesis target."""
+    return {
+        "num_vars": spec.num_inputs,
+        "tt": _tt_hex(spec.tt),
+        "dc": _tt_hex(spec.dc) if spec.dc is not None else None,
+        "isop": [[c.pos, c.neg] for c in spec.isop.cubes],
+        "dual_isop": [[c.pos, c.neg] for c in spec.dual_isop.cubes],
+    }
+
+
+def options_fingerprint(options: JanusOptions) -> dict:
+    """Every option that can influence an LM probe's outcome."""
+    fp = asdict(options)  # recurses into EncodeOptions
+    # ub_methods / ds_depth steer the *driver*, not a single LM probe, but
+    # they are cheap to include and make the key reusable for whole-run
+    # caching later; keep them.
+    fp["ub_methods"] = list(fp["ub_methods"])
+    fp["sides"] = list(fp["sides"])
+    return fp
+
+
+def lm_cache_key(
+    spec: TargetSpec,
+    rows: int,
+    cols: int,
+    options: JanusOptions,
+    backend: str = "eager",
+) -> str:
+    """Stable key for one LM probe under one option set."""
+    payload = {
+        "v": _KEY_VERSION,
+        "backend": backend,
+        "spec": spec_fingerprint(spec),
+        "rows": rows,
+        "cols": cols,
+        "options": options_fingerprint(options),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def describe_key(key: str) -> Optional[str]:
+    """Short display form of a cache key (for logs and CLI output)."""
+    return key[:12] if key else None

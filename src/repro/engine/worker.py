@@ -1,0 +1,145 @@
+"""Work items executed inside engine worker processes.
+
+Everything here must be picklable and importable at module level (the
+pool pickles the *function reference* plus its arguments).  Results cross
+the process boundary as plain JSON-able dicts — the same payloads the
+:class:`~repro.engine.cache.ResultCache` stores, so a worker result can
+be written to the cache verbatim and a cache hit decodes through the
+same path as a pool result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SynthesisError
+from repro.core.bounds import UB_METHODS, BoundResult
+from repro.core.janus import JanusOptions, LmAttempt, LmOutcome, solve_lm
+from repro.core.target import TargetSpec
+from repro.lattice.assignment import Entry, LatticeAssignment
+
+__all__ = [
+    "LmRequest",
+    "run_lm_request",
+    "run_bound_request",
+    "outcome_payload",
+    "outcome_from_payload",
+    "bound_payload",
+    "bound_from_payload",
+]
+
+
+@dataclass(frozen=True)
+class LmRequest:
+    """One LM probe: everything a worker needs, budgets included."""
+
+    spec: TargetSpec
+    rows: int
+    cols: int
+    options: JanusOptions
+    backend: str = "eager"  # "eager" (paper encoding) | "lazy" (CEGAR)
+
+
+def _assignment_payload(assignment: Optional[LatticeAssignment]) -> Optional[dict]:
+    if assignment is None:
+        return None
+    return {
+        "rows": assignment.rows,
+        "cols": assignment.cols,
+        "entries": [[e.var, e.positive] for e in assignment.entries],
+    }
+
+
+def _assignment_from_payload(
+    payload: Optional[dict], spec: TargetSpec
+) -> Optional[LatticeAssignment]:
+    if payload is None:
+        return None
+    entries = [
+        Entry.lit(var, positive) if var is not None else Entry.const(positive)
+        for var, positive in payload["entries"]
+    ]
+    return LatticeAssignment(
+        payload["rows"],
+        payload["cols"],
+        entries,
+        spec.num_inputs,
+        spec.name_list(),
+    )
+
+
+def outcome_payload(outcome: LmOutcome) -> dict:
+    """Serialize an :class:`LmOutcome` for IPC and the result cache."""
+    a = outcome.attempt
+    return {
+        "status": outcome.status,
+        "assignment": _assignment_payload(outcome.assignment),
+        "attempt": {
+            "rows": a.rows,
+            "cols": a.cols,
+            "status": a.status,
+            "side": a.side,
+            "complexity": a.complexity,
+            "conflicts": a.conflicts,
+            "wall_time": a.wall_time,
+        },
+    }
+
+
+def outcome_from_payload(
+    payload: dict, spec: TargetSpec, cached: bool = False
+) -> LmOutcome:
+    """Rebuild an :class:`LmOutcome`; names come from the *current* spec."""
+    a = payload["attempt"]
+    attempt = LmAttempt(
+        rows=a["rows"],
+        cols=a["cols"],
+        status=a["status"],
+        side=a["side"],
+        complexity=a["complexity"],
+        conflicts=a["conflicts"],
+        wall_time=a["wall_time"],
+        cached=cached,
+    )
+    assignment = _assignment_from_payload(payload["assignment"], spec)
+    return LmOutcome(payload["status"], assignment, attempt)
+
+
+def run_lm_request(request: LmRequest) -> dict:
+    """Pool entry point: decide one LM instance, return a payload."""
+    if request.backend == "lazy":
+        from repro.core.cegar import solve_lm_lazy
+
+        outcome = solve_lm_lazy(
+            request.spec, request.rows, request.cols, request.options
+        )
+    else:
+        outcome = solve_lm(
+            request.spec, request.rows, request.cols, request.options
+        )
+    return outcome_payload(outcome)
+
+
+def bound_payload(bound: BoundResult) -> dict:
+    return {
+        "method": bound.method,
+        "assignment": _assignment_payload(bound.assignment),
+    }
+
+
+def bound_from_payload(payload: dict, spec: TargetSpec) -> BoundResult:
+    return BoundResult(
+        payload["method"],
+        _assignment_from_payload(payload["assignment"], spec),
+    )
+
+
+def run_bound_request(args: tuple[TargetSpec, str]) -> Optional[dict]:
+    """Pool entry point: one upper-bound construction, or None if it
+    does not apply to this target (mirrors the serial ``try/except``)."""
+    spec, method = args
+    try:
+        return bound_payload(UB_METHODS[method](spec))
+    except SynthesisError:
+        return None

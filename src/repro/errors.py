@@ -34,3 +34,8 @@ class SynthesisError(ReproError):
 class BudgetExceeded(ReproError):
     """Raised when a configured resource budget (conflicts, time) runs out
     in a context where partial answers cannot be returned."""
+
+
+class CacheError(ReproError):
+    """Raised when the persistent result cache cannot be used (e.g. the
+    cache path exists but is not a directory)."""

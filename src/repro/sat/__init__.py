@@ -1,7 +1,14 @@
 """SAT substrate: CNF containers, CDCL solver, encodings, proofs, I/O."""
 
 from repro.sat.cnf import Cnf, VarPool
-from repro.sat.solver import CdclSolver, SolveResult, SolverStats, solve_cnf
+from repro.sat.solver import (
+    CdclSolver,
+    SolveRequest,
+    SolveResult,
+    SolverStats,
+    solve_cnf,
+    solve_request,
+)
 from repro.sat.encodings import (
     Totalizer,
     at_least_k_totalizer,
@@ -29,9 +36,11 @@ __all__ = [
     "Cnf",
     "VarPool",
     "CdclSolver",
+    "SolveRequest",
     "SolveResult",
     "SolverStats",
     "solve_cnf",
+    "solve_request",
     "at_least_one",
     "at_most_one_pairwise",
     "at_most_one_sequential",

@@ -14,6 +14,17 @@ from repro.sat.cnf import Cnf, VarPool
 
 __all__ = ["read_dimacs", "write_dimacs"]
 
+# Declared variable counts beyond this are junk input, not real formulas;
+# refusing them keeps malformed headers from reserving huge id ranges.
+_MAX_DECLARED_VARS = 100_000_000
+
+
+def _parse_int(token: str, line: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ParseError(f"non-integer token {token!r} in {line!r}") from None
+
 
 def read_dimacs(source: Union[str, TextIO]) -> Cnf:
     """Parse DIMACS CNF text (string or open file)."""
@@ -30,25 +41,40 @@ def read_dimacs(source: Union[str, TextIO]) -> Cnf:
             parts = line.split()
             if len(parts) != 4 or parts[1] != "cnf":
                 raise ParseError(f"bad problem line {line!r}")
-            declared_vars, declared_clauses = int(parts[2]), int(parts[3])
+            declared_vars = _parse_int(parts[2], line)
+            declared_clauses = _parse_int(parts[3], line)
+            if declared_vars < 0 or declared_clauses < 0:
+                raise ParseError(f"negative size in problem line {line!r}")
+            if declared_vars > _MAX_DECLARED_VARS:
+                raise ParseError(
+                    f"declared variable count {declared_vars} exceeds the "
+                    f"{_MAX_DECLARED_VARS} limit"
+                )
             continue
         if line.startswith("%"):
             break
         for tok in line.split():
-            lit = int(tok)
+            lit = _parse_int(tok, line)
             if lit == 0:
                 clauses.append(pending)
                 pending = []
             else:
+                if abs(lit) > _MAX_DECLARED_VARS:
+                    # Same DoS guard as the header: a single junk literal
+                    # must not reserve a billion-variable id range.
+                    raise ParseError(
+                        f"literal {lit} exceeds the {_MAX_DECLARED_VARS} "
+                        "variable limit"
+                    )
                 pending.append(lit)
     if pending:
         clauses.append(pending)
     if declared_vars is None:
         raise ParseError("missing problem line")
     max_var = max((abs(l) for c in clauses for l in c), default=0)
-    pool = VarPool()
-    for _ in range(max(declared_vars, max_var)):
-        pool.fresh()
+    # Reserve the id range directly rather than looping ``fresh()``: a junk
+    # header declaring millions of variables must not cost millions of calls.
+    pool = VarPool(start=max(declared_vars, max_var) + 1)
     cnf = Cnf(pool)
     for clause in clauses:
         cnf.add(clause)

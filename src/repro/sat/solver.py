@@ -26,7 +26,14 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import SolverError
 
-__all__ = ["CdclSolver", "SolveResult", "SolverStats", "solve_cnf"]
+__all__ = [
+    "CdclSolver",
+    "SolveRequest",
+    "SolveResult",
+    "SolverStats",
+    "solve_cnf",
+    "solve_request",
+]
 
 _UNASSIGNED = -1
 
@@ -694,3 +701,53 @@ def solve_cnf(
         if not solver.add_clause(clause):
             return SolveResult("unsat", stats=solver.stats)
     return solver.solve(assumptions)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """A self-contained, picklable SAT workload.
+
+    Carries plain tuples (no :class:`~repro.sat.cnf.VarPool`, no solver
+    state) so it can cross a process boundary cheaply; ``budgets`` ride
+    along so every worker enforces its own limits.  Built for the parallel
+    engine's process pool, but equally usable for shipping instances to
+    any executor.
+    """
+
+    clauses: tuple[tuple[int, ...], ...]
+    num_vars: int = 0
+    assumptions: tuple[int, ...] = ()
+    max_conflicts: Optional[int] = None
+    max_time: Optional[float] = None
+
+    @classmethod
+    def from_cnf(
+        cls,
+        cnf,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        max_time: Optional[float] = None,
+    ) -> "SolveRequest":
+        return cls(
+            clauses=tuple(tuple(c) for c in cnf.clauses),
+            num_vars=cnf.num_vars,
+            assumptions=tuple(assumptions),
+            max_conflicts=max_conflicts,
+            max_time=max_time,
+        )
+
+    def run(self) -> SolveResult:
+        solver = CdclSolver(
+            num_vars=self.num_vars,
+            max_conflicts=self.max_conflicts,
+            max_time=self.max_time,
+        )
+        for clause in self.clauses:
+            if not solver.add_clause(clause):
+                return SolveResult("unsat", stats=solver.stats)
+        return solver.solve(self.assumptions)
+
+
+def solve_request(request: SolveRequest) -> SolveResult:
+    """Module-level entry point for ``ProcessPoolExecutor.map``/``submit``."""
+    return request.run()

@@ -8,10 +8,11 @@ uncontrolled exception (KeyError, IndexError, ...).
 
 import io
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.boolf import Sop, parse_sop, read_pla
-from repro.errors import ReproError
+from repro.errors import ParseError, ReproError
 from repro.sat import Cnf, VarPool, read_dimacs, write_dimacs
 from repro.sat.drat import read_drat
 from repro.aig import read_blif
@@ -26,6 +27,28 @@ def junk_text():
         ),
         max_size=120,
     )
+
+
+def directive_lines(keywords):
+    """Directive-shaped junk: real keywords with malformed operand lists.
+
+    Plain character soup rarely spells a directive, so this strategy aims
+    straight at the crash class the parsers must survive: a recognized
+    keyword followed by missing, extra, non-integer, negative or absurdly
+    large operands.
+    """
+    operands = st.sampled_from(
+        ["", " ", " 3", " -1", " x", " 0", " 99999999999999999", " 3 4", " fr", " a b"]
+    )
+    line = st.tuples(st.sampled_from(keywords), operands).map("".join)
+    return st.lists(line, max_size=8).map("\n".join)
+
+
+PLA_KEYWORDS = [".i", ".o", ".p", ".type", ".ilb", ".ob", ".e", ".end", ".mv"]
+DIMACS_KEYWORDS = ["p cnf", "p", "c", "%", "1 2 0", "0"]
+BLIF_KEYWORDS = [
+    ".model", ".inputs", ".outputs", ".names", ".end", ".latch", "1", "11 1", "-"
+]
 
 
 class TestSopParser:
@@ -70,6 +93,31 @@ class TestDimacs:
         except ACCEPTED_ERRORS:
             pass
 
+    @given(directive_lines(DIMACS_KEYWORDS))
+    @settings(max_examples=150, deadline=None)
+    def test_directive_junk_never_crashes(self, text):
+        try:
+            read_dimacs(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p cnf",
+            "p cnf 1",
+            "p cnf x 2",
+            "p cnf -1 2",
+            "p cnf 1 -2",
+            "p cnf 999999999999 1",  # must refuse, not allocate/hang
+            "p cnf 1 1\n999999999999 0",  # oversized literal: same guard
+            "p cnf 2 1\n1 a 0",
+        ],
+    )
+    def test_malformed_raises_parse_error(self, text):
+        with pytest.raises(ParseError):
+            read_dimacs(io.StringIO(text))
+
     @given(
         st.lists(
             st.lists(
@@ -112,6 +160,32 @@ class TestPla:
         except ACCEPTED_ERRORS:
             pass
 
+    @given(directive_lines(PLA_KEYWORDS))
+    @settings(max_examples=150, deadline=None)
+    def test_directive_junk_never_crashes(self, text):
+        try:
+            read_pla(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            ".o",  # the seed-red fuzz input: directive with no operand
+            ".i",
+            ".i 3 4",
+            ".i x",
+            ".i -1",
+            ".i 99999999999",
+            ".p x",
+            ".type",
+            ".type zz",
+        ],
+    )
+    def test_malformed_directive_raises_parse_error(self, text):
+        with pytest.raises(ParseError):
+            read_pla(io.StringIO(text + "\n"))
+
 
 class TestBlif:
     @given(junk_text())
@@ -121,3 +195,40 @@ class TestBlif:
             read_blif(io.StringIO(text))
         except ACCEPTED_ERRORS:
             pass
+
+    @given(directive_lines(BLIF_KEYWORDS))
+    @settings(max_examples=150, deadline=None)
+    def test_directive_junk_never_crashes(self, text):
+        try:
+            read_blif(io.StringIO(text))
+        except ACCEPTED_ERRORS:
+            pass
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            ".names",  # output name missing
+            "11 1",  # cover row before any .names
+            ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end",
+            ".model m\n.inputs a\n.outputs f\n.names f\n1 1\n.end",
+            ".model m\n.inputs a\n.outputs f\n.names a f\n12 1\n.end",
+        ],
+    )
+    def test_malformed_raises_parse_error(self, text):
+        with pytest.raises(ParseError):
+            read_blif(io.StringIO(text))
+
+    def test_deep_chain_no_recursion_error(self):
+        # A buffer chain thousands of gates long is a legitimate netlist;
+        # the iterative elaborator must not hit the recursion limit.
+        depth = 2000
+        lines = [".model chain", ".inputs a", ".outputs f", ".names a n0", "1 1"]
+        for i in range(1, depth):
+            lines.append(f".names n{i - 1} n{i}")
+            lines.append("1 1")
+        lines.append(f".names n{depth - 1} f")
+        lines.append("1 1")
+        lines.append(".end")
+        model = read_blif(io.StringIO("\n".join(lines)))
+        tt = model.output_truthtable("f")
+        assert list(tt.values) == [False, True]
