@@ -1,18 +1,27 @@
 #!/usr/bin/env python
 """Serial vs parallel vs warm-cache synthesis on the Table II instances.
 
-Runs the same instance subset three ways and reports wall-clock totals:
+Runs the same instance subset several ways and reports wall-clock totals:
 
 1. **serial** — the seed code path (``run_table2`` with ``jobs=1``);
 2. **parallel** — instances sharded across ``--jobs`` worker processes,
-   candidate-shape races inside each worker's engine;
+   candidate-shape races and speculative next-midpoint prefetching
+   inside each worker's engine;
 3. **warm** (only with ``--cache``) — a repeat parallel run against the
-   now-populated result cache, which should perform no SAT work at all.
+   now-populated cache.  The suite-level layer serves whole results, so
+   this run must perform *zero* SAT solver calls and *zero* upper-bound
+   recomputations — asserted from the engines' own counters, not just
+   timed;
+4. **portfolio** (only with ``--portfolio``) — the eager paper encoding
+   raced against the lazy CEGAR backend inside every probe.  Portfolio
+   answers may be different (equally valid) lattices, so they are
+   checked for *correctness* (each realizes its target) rather than
+   byte-identity.
 
-Results are checked for equality between the runs (sizes and shapes per
-instance must match; the search is deterministic by construction), so
-this doubles as an end-to-end regression test of the engine — CI runs
-``--limit 2 --jobs 2``.
+Results of runs 2 and 3 are checked for equality against run 1 (sizes,
+shapes and lattice entries per instance must match; the search is
+deterministic by construction), so this doubles as an end-to-end
+regression test of the engine — CI runs ``--limit 2 --jobs 2``.
 
 Speedup expectations: on an N-core machine with at least ``--jobs``
 instances, the parallel run approaches ``jobs``-fold speedup (the target
@@ -25,23 +34,27 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py --jobs 4 --limit 6
     PYTHONPATH=src python benchmarks/bench_parallel.py --cache /tmp/jc --limit 4
+    PYTHONPATH=src python benchmarks/bench_parallel.py --portfolio --limit 4
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from typing import Optional, Sequence
 
 from repro.bench.instances import PAPER_TABLE2
 from repro.bench.runner import default_options, profile_names, run_table2
+from repro.engine import EngineStats, default_jobs
+from repro.lattice.assignment import Entry, LatticeAssignment
 
 
-def _timed_run(names, options, jobs, cache=None):
+def _timed_run(names, options, jobs, cache=None, portfolio=False):
     start = time.monotonic()
-    rows = run_table2(names, ("janus",), options, jobs=jobs, cache=cache)
+    rows = run_table2(
+        names, ("janus",), options, jobs=jobs, cache=cache, portfolio=portfolio
+    )
     return rows, time.monotonic() - start
 
 
@@ -60,6 +73,33 @@ def _check_identical(label: str, base, other) -> int:
     return mismatches
 
 
+def _check_realizes(label: str, rows) -> int:
+    """Each (possibly non-canonical) lattice must realize its target."""
+    failures = 0
+    for row in rows:
+        aj = row.results["janus"]
+        nrows, ncols = (int(x) for x in aj.shape.split("x"))
+        entries = [
+            Entry.lit(var, pos) if var is not None else Entry.const(pos)
+            for var, pos in aj.entries
+        ]
+        la = LatticeAssignment(
+            nrows, ncols, entries, row.spec.num_inputs, row.spec.name_list()
+        )
+        if not row.spec.accepts(la.realized_truthtable()):
+            print(f"INVALID [{label}] {row.name}: lattice does not realize target")
+            failures += 1
+    return failures
+
+
+def _engine_totals(rows) -> EngineStats:
+    total = EngineStats()
+    for row in rows:
+        if row.engine:
+            total.merge(row.engine)
+    return total
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="fast", choices=("fast", "medium", "full"))
@@ -69,6 +109,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=4, help="worker processes")
     parser.add_argument(
         "--cache", default=None, help="cache dir; adds a warm-cache third run"
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="add an eager-vs-CEGAR portfolio run (answers verified, not "
+        "byte-compared: the race may find a different valid lattice)",
     )
     parser.add_argument(
         "--max-conflicts",
@@ -95,10 +141,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.core.janus import JanusOptions
 
         options = JanusOptions(max_conflicts=args.max_conflicts)
-    cpus = os.cpu_count() or 1
+    cpus = default_jobs()
     print(
         f"instances: {len(names)} ({args.profile} profile) | jobs: {args.jobs} "
-        f"| cpus: {cpus}"
+        f"| available cpus: {cpus}"
     )
 
     serial_rows, serial_s = _timed_run(names, options, jobs=1)
@@ -110,15 +156,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     print(f"parallel  : {parallel_s:8.2f}s  ({speedup:.2f}x)")
 
-    mismatches = _check_identical("parallel", serial_rows, parallel_rows)
+    failures = _check_identical("parallel", serial_rows, parallel_rows)
 
     if args.cache:
         warm_rows, warm_s = _timed_run(
             names, options, jobs=args.jobs, cache=args.cache
         )
         warm_speedup = serial_s / warm_s if warm_s > 0 else float("inf")
-        print(f"warm cache: {warm_s:8.2f}s  ({warm_speedup:.2f}x)")
-        mismatches += _check_identical("warm", serial_rows, warm_rows)
+        totals = _engine_totals(warm_rows)
+        print(
+            f"warm cache: {warm_s:8.2f}s  ({warm_speedup:.2f}x)  "
+            f"solver_calls={totals.solver_calls} "
+            f"bound_calls={totals.bound_calls} "
+            f"suite_hits={totals.suite_hits}"
+        )
+        failures += _check_identical("warm", serial_rows, warm_rows)
+        # The acceptance bar for the suite-level cache: a warm run redoes
+        # no search work at all.
+        if totals.solver_calls != 0:
+            print("FAILED: warm run performed SAT solver calls")
+            failures += 1
+        if totals.bound_calls != 0:
+            print("FAILED: warm run recomputed upper bounds")
+            failures += 1
+
+    if args.portfolio:
+        portfolio_rows, portfolio_s = _timed_run(
+            names, options, jobs=args.jobs, portfolio=True
+        )
+        p_speedup = serial_s / portfolio_s if portfolio_s > 0 else float("inf")
+        print(f"portfolio : {portfolio_s:8.2f}s  ({p_speedup:.2f}x)")
+        failures += _check_realizes("portfolio", portfolio_rows)
+        for s, p in zip(serial_rows, portfolio_rows):
+            sj, pj = s.results["janus"], p.results["janus"]
+            if sj.size != pj.size:
+                print(
+                    f"note: {s.name}: portfolio size {pj.size} vs "
+                    f"deterministic {sj.size} (both valid)"
+                )
 
     print()
     print(f"{'instance':>12} {'size':>5} {'serial CPU':>11} {'parallel CPU':>13}")
@@ -136,10 +211,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "that the parallel path is byte-identical to the serial one."
         )
 
-    if mismatches:
-        print(f"\nFAILED: {mismatches} result mismatch(es)")
+    if failures:
+        print(f"\nFAILED: {failures} check failure(s)")
         return 1
-    print("\nOK: parallel results identical to serial")
+    print("\nOK: parallel and warm runs identical to serial"
+          + (", portfolio verified" if args.portfolio else ""))
     return 0
 
 

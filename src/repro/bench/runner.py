@@ -17,15 +17,23 @@ Select with ``REPRO_BENCH_PROFILE`` or the ``profile`` argument.
 
 Suites shard across worker processes: ``run_table2(..., jobs=4)``
 dispatches one instance per worker and collects rows in deterministic
-(input) order, and ``cache=<dir>`` shares one persistent LM-probe cache
-between all workers and runs (see :mod:`repro.engine`).
+(input) order, and ``cache=<dir>`` shares one persistent cache between
+all workers and runs (see :mod:`repro.engine`).  The cache is layered:
+individual LM probes *and* whole per-instance artifacts (the bounds
+report and the JANUS result) are stored, so a warm suite run recomputes
+nothing — zero SAT calls and zero upper-bound constructions.
+``portfolio=True`` additionally races the eager paper encoding against
+the lazy CEGAR backend inside every probe (measured by
+``benchmarks/bench_parallel.py --portfolio``); portfolio answers are
+valid but need not match the deterministic lattice, and are cached under
+their own namespace.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
@@ -132,6 +140,11 @@ class Table2Row:
     paper: PaperRow
     bounds: BoundsReport
     results: dict[str, AlgoResult] = field(default_factory=dict)
+    # Stats snapshot (``dataclasses.asdict`` of EngineStats) from the
+    # per-instance engine, when one was used; crosses the shard-worker
+    # process boundary as a plain dict so harnesses can assert cache
+    # behavior (e.g. a warm run reporting zero solver calls).
+    engine: Optional[dict] = None
 
     @property
     def signature_exact(self) -> bool:
@@ -139,13 +152,75 @@ class Table2Row:
         return not self.spec.name.startswith("~")
 
 
+def _bounds_payload(report: BoundsReport) -> dict:
+    return {
+        "kind": "bounds",
+        "lb": report.lb,
+        "old_ub": report.old_ub,
+        "new_ub": report.new_ub,
+        "per_method": {k: [r, c] for k, (r, c) in report.per_method.items()},
+        "wall_time": report.wall_time,
+    }
+
+
+def _bounds_from_payload(payload: dict) -> Optional[BoundsReport]:
+    if payload.get("kind") != "bounds":
+        return None
+    try:
+        return BoundsReport(
+            lb=payload["lb"],
+            old_ub=payload["old_ub"],
+            new_ub=payload["new_ub"],
+            per_method={
+                k: (r, c) for k, (r, c) in payload["per_method"].items()
+            },
+            wall_time=payload["wall_time"],
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _bounds_cache(spec: TargetSpec, options: JanusOptions, prober):
+    """(cache, key) for the bounds report, or (None, None) without one."""
+    cache = getattr(prober, "cache", None)
+    if cache is None:
+        return None, None
+    from repro.engine.suite import suite_cache_key
+
+    # Use the engine's own namespace so both cache layers always agree
+    # (ParallelEngine._mode requires jobs > 1 for "portfolio": a
+    # single-worker portfolio engine computes eagerly).
+    mode = getattr(prober, "_mode", "eager")
+    return cache, suite_cache_key(spec, options, kind="bounds", mode=mode)
+
+
 def compute_bounds_report(
     spec: TargetSpec,
     options: Optional[JanusOptions] = None,
     prober=None,
 ) -> BoundsReport:
-    """lb plus old (DP/PS/DPS) and new (+IPS/IDPS/DS) upper bounds."""
+    """lb plus old (DP/PS/DPS) and new (+IPS/IDPS/DS) upper bounds.
+
+    When ``prober`` carries a persistent cache, the whole report is
+    served from it — a warm suite run must not recompute a single bound
+    (the DS bound alone re-runs JANUS on subfunctions).
+    """
     options = options or default_options()
+    cache, key = _bounds_cache(spec, options, prober)
+    if cache is not None:
+        payload = cache.get(key)
+        if payload is not None:
+            report = _bounds_from_payload(payload)
+            if report is not None:
+                stats = getattr(prober, "stats", None)
+                if stats is not None:
+                    stats.suite_hits += 1
+                return report
+    stats = getattr(prober, "stats", None)
+    if stats is not None:
+        if cache is not None:
+            stats.suite_misses += 1
+        stats.bound_calls += 1
     start = time.monotonic()
     lb = structural_lower_bound(spec)
     _best_old, old_all = best_upper_bound(spec, ("dp", "ps", "dps"))
@@ -159,13 +234,16 @@ def compute_bounds_report(
         pass
     old_ub = min(v.size for k, v in old_all.items())
     new_ub = min(v.size for v in new_all.values())
-    return BoundsReport(
+    report = BoundsReport(
         lb=lb,
         old_ub=old_ub,
         new_ub=new_ub,
         per_method=per_method,
         wall_time=time.monotonic() - start,
     )
+    if cache is not None:
+        cache.put(key, _bounds_payload(report))
+    return report
 
 
 def run_algorithm(
@@ -178,8 +256,13 @@ def run_algorithm(
     fn = ALGORITHMS[algorithm]
     if prober is not None and algorithm == "janus":
         # Only JANUS speaks the prober protocol; the baselines keep their
-        # own search loops.
-        result: SynthesisResult = fn(spec, options=options, prober=prober)
+        # own search loops.  An engine prober runs the search through its
+        # own entry point so the suite-level result cache engages.
+        engine_synthesize = getattr(prober, "synthesize", None)
+        if engine_synthesize is not None:
+            result: SynthesisResult = engine_synthesize(spec, options=options)
+        else:
+            result = fn(spec, options=options, prober=prober)
     else:
         result = fn(spec, options=options)
     return AlgoResult(
@@ -197,31 +280,46 @@ def run_table2_instance(
     algorithms: Sequence[str] = ("janus",),
     options: Optional[JanusOptions] = None,
     cache: Union[str, Path, None] = None,
+    portfolio: bool = False,
 ) -> Table2Row:
     prober = None
-    if cache is not None:
+    if cache is not None or portfolio:
         from repro.engine import ParallelEngine
 
-        # In-process engine: no nested pool (this already runs inside a
-        # shard worker when jobs > 1), but every probe goes through the
-        # shared on-disk cache.
-        prober = ParallelEngine(jobs=1, cache=cache)
+        # In-process engine for caching: no nested pool (this already
+        # runs inside a shard worker when jobs > 1), but every probe and
+        # artifact goes through the shared on-disk cache.  Portfolio mode
+        # needs two workers of its own to race the eager and lazy
+        # backends per probe.
+        prober = ParallelEngine(
+            jobs=2 if portfolio else 1, cache=cache, portfolio=portfolio
+        )
     spec = build_instance(name)
-    row = Table2Row(
-        name=name,
-        spec=spec,
-        paper=next(r for r in PAPER_TABLE2 if r.name == name),
-        bounds=compute_bounds_report(spec, options, prober=prober),
-    )
-    for algorithm in algorithms:
-        row.results[algorithm] = run_algorithm(algorithm, spec, options, prober)
+    try:
+        row = Table2Row(
+            name=name,
+            spec=spec,
+            paper=next(r for r in PAPER_TABLE2 if r.name == name),
+            bounds=compute_bounds_report(spec, options, prober=prober),
+        )
+        for algorithm in algorithms:
+            row.results[algorithm] = run_algorithm(
+                algorithm, spec, options, prober
+            )
+        if prober is not None:
+            row.engine = asdict(prober.stats)
+    finally:
+        if prober is not None:
+            prober.close()
     return row
 
 
 def _instance_task(args: tuple) -> Table2Row:
     """Module-level shard task (must be picklable for the pool)."""
-    name, algorithms, options, cache = args
-    return run_table2_instance(name, algorithms, options, cache=cache)
+    name, algorithms, options, cache, portfolio = args
+    return run_table2_instance(
+        name, algorithms, options, cache=cache, portfolio=portfolio
+    )
 
 
 def run_table2(
@@ -231,6 +329,7 @@ def run_table2(
     verbose: bool = False,
     jobs: int = 1,
     cache: Union[str, Path, None] = None,
+    portfolio: bool = False,
 ) -> list[Table2Row]:
     """Run Table II instances, optionally sharded across ``jobs`` workers.
 
@@ -239,7 +338,9 @@ def run_table2(
     """
     names = list(names) if names is not None else profile_names()
     cache = str(cache) if cache is not None else None
-    tasks = [(name, tuple(algorithms), options, cache) for name in names]
+    tasks = [
+        (name, tuple(algorithms), options, cache, portfolio) for name in names
+    ]
     rows: list[Table2Row] = []
     if jobs > 1:
         from repro.engine import ParallelEngine

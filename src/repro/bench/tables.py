@@ -120,12 +120,19 @@ def table2(
     verbose: bool = True,
     jobs: int = 1,
     cache=None,
+    portfolio: bool = False,
 ) -> tuple[list[Table2Row], str]:
     """Run the Table II comparison for a profile; returns (rows, report)."""
     options = default_options(profile)
     use = names if names is not None else profile_names(profile)
     rows = run_table2(
-        use, algorithms, options, verbose=verbose, jobs=jobs, cache=cache
+        use,
+        algorithms,
+        options,
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
+        portfolio=portfolio,
     )
     report = format_table2(rows)
     summary = _table2_summary(rows)

@@ -10,16 +10,20 @@ Subcommands::
     janus table2 [--profile fast] [--algorithms janus,exact,...]
     janus table2 --jobs 4 --cache DIR shard instances across workers
     janus table3 [--names squar5,misex1,bw]
+    janus cache stats DIR             entries/bytes/temp files in a cache
+    janus cache gc DIR --max-age-days 30 --max-size-mb 512   bounded GC
 
-``--jobs 0`` means "one worker per CPU".  ``--cache DIR`` persists every
-decisive LM probe result keyed by a canonical function signature, so
-repeated runs skip SAT work entirely (see :mod:`repro.engine`).
+``--jobs 0`` means "one worker per *available* CPU" (cgroup/affinity
+aware).  ``--cache DIR`` persists every decisive LM probe result *and*
+whole synthesis results keyed by canonical function signatures, so a
+repeated run skips not just SAT calls but the bounds computation and the
+dichotomic search too (see :mod:`repro.engine`).  ``--portfolio`` races
+the eager paper encoding against the lazy CEGAR backend per probe.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import Optional, Sequence
 
@@ -60,7 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         metavar="DIR",
         default=None,
-        help="persistent LM result cache directory",
+        help="persistent result cache directory (probe + suite layers)",
+    )
+    p_synth.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the eager and lazy (CEGAR) backends per probe",
     )
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I (product counts)")
@@ -91,11 +100,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         metavar="DIR",
         default=None,
-        help="persistent LM result cache shared by all workers",
+        help="persistent result cache shared by all workers (probe + suite)",
+    )
+    p_t2.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the eager and lazy (CEGAR) backends inside every probe",
     )
 
     p_t3 = sub.add_parser("table3", help="run the Table III comparison")
     p_t3.add_argument("--names", default="squar5,misex1,bw")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clean a persistent result cache"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear", "gc"))
+    p_cache.add_argument("dir", metavar="DIR", help="cache directory")
+    p_cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc: evict entries last written more than this many days ago",
+    )
+    p_cache.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        help="gc: evict oldest entries until the cache fits this size",
+    )
+    p_cache.add_argument(
+        "--tmp-grace-minutes",
+        type=float,
+        default=60.0,
+        help="gc: sweep .tmp-* files from crashed writers older than this",
+    )
 
     p_render = sub.add_parser(
         "render", help="synthesize and draw a lattice (ASCII or SVG)"
@@ -153,17 +191,28 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     options = JanusOptions(
         max_conflicts=args.max_conflicts, lm_time_limit=args.time_limit
     )
-    if args.jobs != 1 or args.cache:
+    if args.jobs != 1 or args.cache or args.portfolio:
         from repro.engine import ParallelEngine
 
         jobs = args.jobs if args.jobs != 0 else None
-        with ParallelEngine(jobs=jobs, cache=args.cache) as engine:
+        if args.portfolio:
+            from repro.engine import default_jobs
+
+            # The backend race needs two workers, even when --jobs 0
+            # resolves to a single available CPU.
+            jobs = max(2, jobs if jobs is not None else default_jobs())
+        with ParallelEngine(
+            jobs=jobs, cache=args.cache, portfolio=args.portfolio
+        ) as engine:
             result = engine.synthesize(spec, options=options)
             stats = engine.stats
         print(
             f"engine    : jobs={jobs or 'auto'} "
             f"solver_calls={stats.solver_calls} "
-            f"cache hits/misses={stats.cache_hits}/{stats.cache_misses}"
+            f"bound_calls={stats.bound_calls} "
+            f"cache hits/misses={stats.cache_hits}/{stats.cache_misses} "
+            f"suite hits/misses={stats.suite_hits}/{stats.suite_misses} "
+            f"speculated={stats.speculated}"
         )
     else:
         result = synthesize(spec, options=options)
@@ -202,15 +251,83 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         if args.names
         else None
     )
-    jobs = args.jobs if args.jobs != 0 else (os.cpu_count() or 1)
-    _rows, report = table2(
+    if args.jobs != 0:
+        jobs = args.jobs
+    else:
+        from repro.engine import default_jobs
+
+        jobs = default_jobs()
+    rows, report = table2(
         profile=args.profile,
         algorithms=algorithms,
         names=names,
         jobs=jobs,
         cache=args.cache,
+        portfolio=args.portfolio,
     )
     print(report)
+    snapshots = [r.engine for r in rows if r.engine]
+    if snapshots:
+        from repro.engine import EngineStats
+
+        total = EngineStats()
+        for snapshot in snapshots:
+            total.merge(snapshot)
+        print(
+            f"engine    : solver_calls={total.solver_calls} "
+            f"bound_calls={total.bound_calls} "
+            f"cache hits/misses={total.cache_hits}/{total.cache_misses} "
+            f"suite hits/misses={total.suite_hits}/{total.suite_misses} "
+            f"speculated={total.speculated}"
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.engine import ResultCache, cache_stats, gc_cache
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"error: {args.dir} is not a directory", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+    if args.action == "stats":
+        st = cache_stats(cache)
+        print(f"cache     : {root}")
+        print(f"entries   : {st.entries} ({st.entry_bytes / 1e6:.2f} MB)")
+        print(f"temp files: {st.temp_files} ({st.temp_bytes / 1e6:.2f} MB)")
+        if st.entries:
+            print(
+                f"age       : oldest {st.oldest_age / 86400:.1f}d, "
+                f"newest {st.newest_age / 86400:.1f}d"
+            )
+        return 0
+    if args.action == "clear":
+        print(f"removed {cache.clear()} entries")
+        return 0
+    report = gc_cache(
+        cache,
+        max_age=(
+            args.max_age_days * 86400.0
+            if args.max_age_days is not None
+            else None
+        ),
+        max_bytes=(
+            int(args.max_size_mb * 1e6)
+            if args.max_size_mb is not None
+            else None
+        ),
+        tmp_grace=args.tmp_grace_minutes * 60.0,
+    )
+    print(
+        f"evicted {report.evicted} entries "
+        f"({report.evicted_by_age} by age, {report.evicted_by_size} by size, "
+        f"{report.evicted_bytes / 1e6:.2f} MB), "
+        f"swept {report.swept_temps} temp files, "
+        f"pruned {report.pruned_dirs} empty dirs"
+    )
     return 0
 
 
@@ -322,6 +439,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig4": _cmd_fig4,
         "table2": _cmd_table2,
         "table3": _cmd_table3,
+        "cache": _cmd_cache,
         "render": _cmd_render,
         "decompose": _cmd_decompose,
         "drat-check": _cmd_drat_check,

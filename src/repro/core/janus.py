@@ -248,8 +248,15 @@ class SerialProber:
         shapes: list[tuple[int, int]],
         options: JanusOptions,
         attempts: list[LmAttempt],
+        bounds: Optional[tuple[int, int]] = None,
     ) -> Optional[LatticeAssignment]:
-        """Probe ``shapes`` in order; return the first SAT assignment."""
+        """Probe ``shapes`` in order; return the first SAT assignment.
+
+        ``bounds`` is the driver's current ``(lb, ub)`` window — a hint
+        that lets a parallel prober prefetch the candidate shapes of the
+        two possible *next* dichotomic steps; the serial prober ignores
+        it.
+        """
         for rows, cols in shapes:
             outcome = self.solve(spec, rows, cols, options)
             attempts.append(outcome.attempt)
@@ -412,7 +419,9 @@ def synthesize(
 
     while lb < ub:
         mp = (lb + ub) // 2
-        found = prober.first_sat(spec, candidate_shapes(mp, lb), options, attempts)
+        found = prober.first_sat(
+            spec, candidate_shapes(mp, lb), options, attempts, bounds=(lb, ub)
+        )
         if found is not None:
             best_assignment = found
             ub = found.size

@@ -1,4 +1,4 @@
-"""Parallel synthesis engine: process-pool probe racing + result caching.
+"""Parallel synthesis engine: probe racing, speculation, layered caching.
 
 Architecture (one paragraph per layer):
 
@@ -6,39 +6,61 @@ Architecture (one paragraph per layer):
   identified by the target's truth-table/don't-care bits and covers, the
   lattice shape, and an options fingerprint; names are excluded so
   cosmetic differences never fragment the cache.
-* :mod:`repro.engine.cache` — a persistent on-disk store of probe
-  results (JSON payloads under sharded directories, atomic writes), safe
-  to share between concurrent processes and runs.
+* :mod:`repro.engine.cache` — a persistent on-disk store of JSON
+  payloads (sharded directories, atomic writes), safe to share between
+  concurrent processes and runs; writes degrade gracefully when the
+  directory is unwritable.
+* :mod:`repro.engine.suite` — the suite-level layer on top of the probe
+  cache: whole :class:`~repro.core.janus.SynthesisResult` records keyed
+  by spec+options fingerprint, so warm runs skip bounds computation and
+  the dichotomic loop entirely.
+* :mod:`repro.engine.gc` — eviction policy: age- and size-bounded GC
+  plus sweeping of stale temp files (exposed as ``janus cache``).
 * :mod:`repro.engine.worker` — picklable requests and module-level
   functions that execute inside ``ProcessPoolExecutor`` workers, each
   enforcing its own conflict/wall-clock budgets.
 * :mod:`repro.engine.parallel` — :class:`ParallelEngine`, the
   :class:`~repro.core.janus.SerialProber` replacement that races sibling
-  candidate shapes, answers repeats from the cache, and (optionally)
+  candidate shapes, speculatively prefetches both possible next
+  dichotomic steps, answers repeats from the caches, and (optionally)
   runs an eager-vs-CEGAR portfolio per probe.
 
 The engine plugs into the existing entry points rather than replacing
 them: ``synthesize(..., prober=engine)``, ``run_table2(..., jobs=4,
-cache=dir)``, and the CLI's ``--jobs``/``--cache`` flags.
+cache=dir)``, and the CLI's ``--jobs``/``--cache``/``--portfolio``
+flags.
 """
 
 from repro.engine.cache import ResultCache
+from repro.engine.gc import CacheStats, GcReport, cache_stats, gc_cache
 from repro.engine.parallel import EngineStats, ParallelEngine, default_jobs
 from repro.engine.signature import (
     lm_cache_key,
     options_fingerprint,
     spec_fingerprint,
 )
+from repro.engine.suite import (
+    suite_cache_key,
+    synthesis_from_payload,
+    synthesis_payload,
+)
 from repro.engine.worker import LmRequest, run_lm_request
 
 __all__ = [
+    "CacheStats",
     "EngineStats",
+    "GcReport",
     "LmRequest",
     "ParallelEngine",
     "ResultCache",
+    "cache_stats",
     "default_jobs",
+    "gc_cache",
     "lm_cache_key",
     "options_fingerprint",
     "run_lm_request",
     "spec_fingerprint",
+    "suite_cache_key",
+    "synthesis_from_payload",
+    "synthesis_payload",
 ]

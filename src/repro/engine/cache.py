@@ -1,4 +1,4 @@
-"""Persistent on-disk result cache for LM probes.
+"""Persistent on-disk result cache for LM probes and suite results.
 
 Layout: one JSON file per result under ``<root>/<key[:2]>/<key>.json``,
 where ``key`` is the SHA-256 from :mod:`repro.engine.signature`.  The
@@ -7,6 +7,15 @@ accumulate.  Writes go through a temp file + :func:`os.replace`, so a
 cache directory shared by many worker processes (or many concurrent
 runs) never serves a torn file; the worst concurrent case is two workers
 computing the same result and one rename winning, which is harmless.
+
+A writer that dies between ``mkstemp`` and ``os.replace`` leaves a
+``.tmp-*.json`` file behind.  Those are never entries: ``__len__`` and
+``clear`` only see real ``<sha256>.json`` files, and
+:func:`repro.engine.gc.gc_cache` sweeps stale temps.
+
+Cache *writes* are best-effort: a read-only or full cache directory
+degrades the cache to read-only/uncached operation with a single
+warning instead of aborting the synthesis run that tried to populate it.
 
 Only *decisive* outcomes are stored: ``sat``/``unsat`` always, and
 ``unknown`` only when it was produced by a deterministic conflict budget
@@ -18,9 +27,11 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.errors import CacheError
 
@@ -28,12 +39,19 @@ __all__ = ["ResultCache"]
 
 _FORMAT = 1
 
+# Real entries are exactly "<64 hex chars>.json"; anything else in a
+# shard directory (in-flight ".tmp-*.json" files from other writers,
+# stray droppings from crashed ones) is not part of the cache contents.
+_ENTRY_RE = re.compile(r"\A[0-9a-f]{64}\.json\Z")
+_TEMP_RE = re.compile(r"\A\.tmp-.*\.json\Z")
+
 
 class ResultCache:
     """A directory of JSON result payloads keyed by content hash."""
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        self._writable = True  # flips off after the first failed write
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -54,36 +72,73 @@ class ResultCache:
             return None
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        """Atomically store a payload (last writer wins)."""
+    def put(self, key: str, payload: dict) -> bool:
+        """Atomically store a payload (last writer wins).
+
+        Returns True when the entry was written.  An unwritable cache
+        (read-only directory, disk full, quota) must never abort the
+        synthesis run feeding it: the first :class:`OSError` emits one
+        warning and turns further writes off — reads keep working, so a
+        read-only warm cache still serves hits.
+        """
+        if not self._writable:
+            return False
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = dict(payload)
         record["format"] = _FORMAT
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        tmp = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(record, fh, separators=(",", ":"))
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            return True
+        except OSError as exc:
+            self._writable = False
+            warnings.warn(
+                f"cache write to {path} failed ({exc}); continuing without "
+                "caching new results",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        finally:
+            if tmp is not None and os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def iter_entries(self) -> Iterator[Path]:
+        """Every real ``<sha256>.json`` entry file (temps excluded)."""
+        for path in self.root.glob("*/*.json"):
+            if _ENTRY_RE.match(path.name):
+                yield path
+
+    def iter_temps(self) -> Iterator[Path]:
+        """Leftover ``.tmp-*.json`` files from in-flight/crashed writers."""
+        for path in self.root.glob("*/.tmp-*.json"):
+            if _TEMP_RE.match(path.name):
+                yield path
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.iter_entries())
 
     def clear(self) -> int:
-        """Delete every stored result; returns the number removed."""
+        """Delete every stored result; returns the number removed.
+
+        Temp files are left for :func:`repro.engine.gc.gc_cache`: an
+        in-flight writer may still rename its temp into place, and
+        unlinking it here would not stop that rename anyway.
+        """
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self.iter_entries():
             try:
                 path.unlink()
                 removed += 1

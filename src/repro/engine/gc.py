@@ -1,0 +1,162 @@
+"""Cache eviction policy: age- and size-bounded GC plus temp sweeping.
+
+A shared cache directory grows without bound as suites, options and key
+versions churn; this module keeps it bounded without ever risking a
+wrong answer — entries are immutable and content-addressed, so evicting
+one only costs a future recomputation.
+
+Policy (applied in this order by :func:`gc_cache`):
+
+1. **Temp sweep** — ``.tmp-*.json`` files older than ``tmp_grace``
+   seconds are leftovers from crashed writers (a live writer holds its
+   temp for milliseconds) and are deleted.
+2. **Age bound** — entries whose mtime is older than ``max_age`` seconds
+   are evicted.  mtime approximates last *write*; entries rewritten by
+   concurrent runs stay fresh.
+3. **Size bound** — if the surviving entries still exceed ``max_bytes``,
+   the oldest entries (by mtime) are evicted until the total fits.
+4. **Dir pruning** — shard directories left empty are removed.
+
+All deletions tolerate concurrent access: a file unlinked by another
+process, or a directory repopulated mid-prune, is skipped silently.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.cache import ResultCache
+
+__all__ = ["CacheStats", "GcReport", "cache_stats", "gc_cache"]
+
+
+@dataclass
+class CacheStats:
+    """Snapshot of a cache directory's contents."""
+
+    entries: int = 0
+    entry_bytes: int = 0
+    temp_files: int = 0
+    temp_bytes: int = 0
+    oldest_age: float = 0.0  # seconds since the oldest entry's mtime
+    newest_age: float = 0.0
+
+
+@dataclass
+class GcReport:
+    """What one :func:`gc_cache` pass removed."""
+
+    evicted_by_age: int = 0
+    evicted_by_size: int = 0
+    evicted_bytes: int = 0
+    swept_temps: int = 0
+    pruned_dirs: int = 0
+
+    @property
+    def evicted(self) -> int:
+        return self.evicted_by_age + self.evicted_by_size
+
+
+def _stat_entries(cache: ResultCache) -> list[tuple[float, int, "os.PathLike"]]:
+    """(mtime, size, path) for every real entry that still exists."""
+    out = []
+    for path in cache.iter_entries():
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        out.append((st.st_mtime, st.st_size, path))
+    return out
+
+
+def cache_stats(cache: ResultCache, now: Optional[float] = None) -> CacheStats:
+    """Count entries, bytes and leftover temps in ``cache``."""
+    now = time.time() if now is None else now
+    stats = CacheStats()
+    entries = _stat_entries(cache)
+    stats.entries = len(entries)
+    stats.entry_bytes = sum(size for _, size, _ in entries)
+    if entries:
+        mtimes = [mtime for mtime, _, _ in entries]
+        stats.oldest_age = max(0.0, now - min(mtimes))
+        stats.newest_age = max(0.0, now - max(mtimes))
+    for path in cache.iter_temps():
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        stats.temp_files += 1
+        stats.temp_bytes += st.st_size
+    return stats
+
+
+def _unlink(path) -> bool:
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False
+
+
+def gc_cache(
+    cache: ResultCache,
+    max_age: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    tmp_grace: float = 3600.0,
+    now: Optional[float] = None,
+) -> GcReport:
+    """One GC pass over ``cache``; bounds of None mean "no bound".
+
+    ``max_age`` and ``tmp_grace`` are in seconds, ``max_bytes`` in bytes.
+    Returns a :class:`GcReport` of everything removed.
+    """
+    now = time.time() if now is None else now
+    report = GcReport()
+
+    for path in cache.iter_temps():
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue
+        if age >= tmp_grace and _unlink(path):
+            report.swept_temps += 1
+
+    entries = _stat_entries(cache)
+    survivors = []
+    for mtime, size, path in entries:
+        if max_age is not None and now - mtime >= max_age:
+            if _unlink(path):
+                report.evicted_by_age += 1
+                report.evicted_bytes += size
+                continue
+        survivors.append((mtime, size, path))
+
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in survivors)
+        survivors.sort()  # oldest mtime first
+        for mtime, size, path in survivors:
+            if total <= max_bytes:
+                break
+            if _unlink(path):
+                report.evicted_by_size += 1
+                report.evicted_bytes += size
+                total -= size
+
+    for shard in cache.root.iterdir():
+        if not shard.is_dir():
+            continue
+        try:
+            next(shard.iterdir())
+        except StopIteration:
+            try:
+                shard.rmdir()
+                report.pruned_dirs += 1
+            except OSError:
+                pass
+        except OSError:
+            pass
+
+    return report

@@ -1,7 +1,7 @@
 """Process-pool portfolio/batch synthesis engine.
 
 :class:`ParallelEngine` is a drop-in :class:`~repro.core.janus.SerialProber`
-replacement that scales JANUS three ways without changing its answers:
+replacement that scales JANUS four ways without changing its answers:
 
 * **Shape racing** — each dichotomic step of the search probes a list of
   maximal candidate shapes.  The engine dispatches every sibling
@@ -12,31 +12,45 @@ replacement that scales JANUS three ways without changing its answers:
   exactly the decisions the serial prober would — results are
   byte-identical, only the wall clock shrinks.
 
+* **Speculative probing** — the dichotomic loop has only two possible
+  next steps: SAT at the midpoint ``mp`` shrinks the upper bound to the
+  found size, UNSAT raises the lower bound to ``mp + 1``.  While the
+  engine consumes the current step's race it prefetches the candidate
+  shapes of both possible next midpoints (``(lb + found.size) // 2``
+  once the winner is known, ``(mp + 1 + ub) // 2`` up front) into idle
+  workers.  The branch the driver actually takes finds its probes
+  already in flight; the losing branch is discarded (cancelled if not
+  started, harvested into the cache if it completed anyway).  The driver
+  still consumes in candidate order, so results stay byte-identical.
+
 * **Result caching** — probes are keyed by a canonical function signature
   (truth-table/cover hash + options fingerprint + shape, see
   :mod:`repro.engine.signature`) in a persistent on-disk
-  :class:`~repro.engine.cache.ResultCache`.  Repeated workloads skip
-  solved instances entirely: a warm run performs zero SAT solver calls
-  (``EngineStats.solver_calls == 0``).  Race losers that complete anyway
-  are harvested into the cache instead of wasted.
+  :class:`~repro.engine.cache.ResultCache`.  On top of that sits the
+  suite-level cache (:mod:`repro.engine.suite`): :meth:`synthesize`
+  stores whole :class:`~repro.core.janus.SynthesisResult` records, so a
+  warm run skips the bounds computation and the dichotomic loop
+  entirely, not just the SAT calls.  Race losers that complete anyway
+  are harvested into the probe cache instead of wasted.
 
 * **Portfolio probes** (opt-in) — ``portfolio=True`` races the eager
   paper encoding against the lazy CEGAR backend per instance and takes
   the first decisive answer.  This can change which (equally valid)
-  lattice is found, so it is off by default and never used inside the
-  deterministic shape race.
+  lattice is found, so it is off by default, never used inside the
+  deterministic shape race, and cached under its own key namespace.
 
 Workers are plain ``ProcessPoolExecutor`` processes executing the
 module-level functions in :mod:`repro.engine.worker`; every request
 carries its own budgets (conflicts and optional wall clock), so a runaway
 probe can exhaust only its own worker.  ``jobs=1`` disables the pool but
-keeps the cache, which is what nested engines inside suite-sharding
-workers use.
+keeps both cache layers, which is what nested engines inside
+suite-sharding workers use.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -49,12 +63,19 @@ from repro.core.janus import (
     LmOutcome,
     SerialProber,
     SynthesisResult,
+    candidate_shapes,
+    make_spec,
     solve_lm,
 )
 from repro.core.janus import synthesize as _synthesize
 from repro.core.target import TargetSpec
 from repro.engine.cache import ResultCache
 from repro.engine.signature import lm_cache_key
+from repro.engine.suite import (
+    suite_cache_key,
+    synthesis_from_payload,
+    synthesis_payload,
+)
 from repro.engine.worker import (
     LmRequest,
     bound_from_payload,
@@ -69,8 +90,20 @@ __all__ = ["EngineStats", "ParallelEngine", "default_jobs"]
 
 
 def default_jobs() -> int:
-    """Worker count when the caller does not choose: one per CPU."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count when the caller does not choose: one per *available*
+    CPU.
+
+    ``os.cpu_count()`` reports the machine, not the process: inside a
+    cgroup-limited container or under a CPU affinity mask it overstates
+    what we can actually use, and oversubscribing a single granted CPU
+    with one worker per physical core only adds scheduling overhead.
+    ``os.sched_getaffinity`` reflects both limits where the platform
+    supports it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 @dataclass
@@ -79,7 +112,9 @@ class EngineStats:
 
     ``solver_calls`` counts LM probes that actually ran a SAT solver
     (locally or in a worker) — a warm-cache run keeps it at zero, which
-    is the property the cache tests pin down.
+    is the property the cache tests pin down.  ``bound_calls`` does the
+    same for upper-bound computations: a warm *suite*-cache run keeps
+    both at zero.
     """
 
     solver_calls: int = 0
@@ -90,7 +125,19 @@ class EngineStats:
     cancelled: int = 0  # pool probes cancelled before they started
     harvested: int = 0  # race losers whose finished results fed the cache
     conflicts: int = 0  # aggregate SAT conflicts over computed probes
-    bound_tasks: int = 0
+    bound_tasks: int = 0  # bound constructions dispatched to the pool
+    bound_calls: int = 0  # upper-bound computations (pooled or serial)
+    suite_hits: int = 0  # whole results served from the suite cache
+    suite_misses: int = 0
+    speculated: int = 0  # probes prefetched for a possible next step
+    speculative_hits: int = 0  # prefetched probes a later step consumed
+    speculative_waste: int = 0  # prefetched probes the search never needed
+
+    def merge(self, other: dict) -> None:
+        """Fold a stats snapshot (``dataclasses.asdict`` form) into self."""
+        for field_name, value in other.items():
+            if hasattr(self, field_name):
+                setattr(self, field_name, getattr(self, field_name) + value)
 
 
 class ParallelEngine(SerialProber):
@@ -100,6 +147,12 @@ class ParallelEngine(SerialProber):
 
         with ParallelEngine(jobs=4, cache="~/.cache/janus") as engine:
             result = engine.synthesize("ab + a'b'c")
+
+    ``speculate`` controls next-midpoint prefetching (on by default; it
+    only ever adds work to otherwise-idle workers).  ``suite`` controls
+    the whole-result cache layer in :meth:`synthesize` (on by default
+    whenever ``cache`` is set; turn it off to benchmark the probe cache
+    in isolation).
     """
 
     def __init__(
@@ -107,14 +160,19 @@ class ParallelEngine(SerialProber):
         jobs: Optional[int] = None,
         cache: Union[ResultCache, str, Path, None] = None,
         portfolio: bool = False,
+        speculate: bool = True,
+        suite: bool = True,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
         self.portfolio = portfolio
+        self.speculate = speculate
+        self.suite = suite
         self.stats = EngineStats()
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._prefetched: dict[str, Future] = {}
         self._closed = False
 
     # ------------------------------------------------------------- plumbing
@@ -127,6 +185,7 @@ class ParallelEngine(SerialProber):
         return self._executor
 
     def close(self) -> None:
+        self._drop_prefetched()
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
@@ -139,12 +198,28 @@ class ParallelEngine(SerialProber):
         self.close()
 
     # ---------------------------------------------------------------- cache
+    @property
+    def _mode(self) -> str:
+        """Key namespace: portfolio answers must never serve strict runs."""
+        return "portfolio" if (self.portfolio and self.jobs > 1) else "eager"
+
     def _cacheable(self, payload: dict, options: JanusOptions) -> bool:
         if payload["status"] in ("sat", "unsat"):
             return True
         # A budget "unknown" is only reproducible when the budget is a
         # deterministic conflict count, not a wall clock.
         return options.lm_time_limit is None
+
+    def _suite_cacheable(
+        self, result: SynthesisResult, options: JanusOptions
+    ) -> bool:
+        """Whole results follow the same reproducibility policy as probes:
+        a search whose decisions rested on a wall-clock "unknown" (probe
+        treated as unrealizable because *this machine* ran out of time)
+        must not be frozen into the cache."""
+        if options.lm_time_limit is None:
+            return True
+        return not any(a.status == "unknown" for a in result.attempts)
 
     def _cache_get(
         self, key: str, spec: TargetSpec, options: JanusOptions
@@ -230,22 +305,86 @@ class ParallelEngine(SerialProber):
         assert best is not None  # both backends returned "unknown"
         return best
 
+    # ------------------------------------------------------------ speculation
+    def _drop_prefetched(self, keep: Optional[set] = None) -> None:
+        """Discard prefetched probes for branches the search did not take.
+
+        Cancelled-before-start is pure win; a probe that already ran is
+        harvested into the cache (its key is content-addressed, so the
+        result is correct whenever it is asked for again).
+        """
+        for key in [k for k in self._prefetched if keep is None or k not in keep]:
+            fut = self._prefetched.pop(key)
+            self.stats.speculative_waste += 1
+            if fut.cancel():
+                self.stats.cancelled += 1
+            else:
+                fut.add_done_callback(self._spec_harvester(key))
+
+    def _spec_harvester(self, key: str) -> Callable:
+        def harvest(fut: Future) -> None:
+            if fut.cancelled() or fut.exception() is not None:
+                return
+            if self.cache is not None:
+                payload = fut.result()
+                if payload["status"] in ("sat", "unsat"):
+                    self.stats.harvested += 1
+                    self.cache.put(key, payload)
+
+        return harvest
+
+    def _speculate_step(
+        self,
+        spec: TargetSpec,
+        lower: int,
+        upper: int,
+        options: JanusOptions,
+        exclude: set,
+    ) -> None:
+        """Prefetch the candidate shapes of the step ``(lower, upper)``
+        would produce, skipping anything cached, in flight or excluded."""
+        pool = self._pool
+        if pool is None or lower >= upper:
+            return
+        mp = (lower + upper) // 2
+        for rows, cols in candidate_shapes(mp, lower):
+            key = lm_cache_key(spec, rows, cols, options)
+            if key in exclude or key in self._prefetched:
+                continue
+            if self.cache is not None and key in self.cache:
+                continue
+            self._prefetched[key] = pool.submit(
+                run_lm_request, LmRequest(spec, rows, cols, options)
+            )
+            self.stats.dispatched += 1
+            self.stats.speculated += 1
+
     def first_sat(
         self,
         spec: TargetSpec,
         shapes: Sequence[tuple[int, int]],
         options: JanusOptions,
         attempts: list[LmAttempt],
+        bounds: Optional[tuple[int, int]] = None,
     ) -> Optional[LatticeAssignment]:
         """Race sibling candidate shapes; first SAT *in candidate order*.
 
         Mirrors the serial prober's contract exactly: one attempt per
         probed shape, stopping at the winner, so the driver's decisions
         (and final lattice) do not depend on completion order.
+
+        ``bounds`` is the driver's current ``(lb, ub)`` window.  When
+        given (and a pool exists), the engine speculates: the UNSAT
+        branch's next step is prefetched immediately, the SAT branch's as
+        soon as the winner (and therefore the new upper bound) is known.
         """
         self.stats.batches += 1
         shapes = list(shapes)
         keys = [lm_cache_key(spec, r, c, options) for r, c in shapes]
+        current = set(keys)
+        # Prefetches from the step before this one: anything not needed
+        # now belonged to the branch the driver did not take.
+        self._drop_prefetched(keep=current)
         outcomes: dict[int, LmOutcome] = {}
         # A cached SAT outcome decides the batch at its index: later
         # shapes can never win, so neither look them up nor probe them.
@@ -264,10 +403,25 @@ class ParallelEngine(SerialProber):
             for i, (rows, cols) in enumerate(shapes[:decided]):
                 if i in outcomes:
                     continue
-                futures[i] = pool.submit(
-                    run_lm_request, LmRequest(spec, rows, cols, options)
-                )
-                self.stats.dispatched += 1
+                fut = self._prefetched.pop(keys[i], None)
+                if fut is not None:
+                    self.stats.speculative_hits += 1
+                else:
+                    fut = pool.submit(
+                        run_lm_request, LmRequest(spec, rows, cols, options)
+                    )
+                    self.stats.dispatched += 1
+                futures[i] = fut
+
+        speculating = (
+            self.speculate and bounds is not None and pool is not None
+        )
+        if speculating:
+            lb, ub = bounds
+            mp = (lb + ub) // 2
+            # UNSAT branch: lb becomes mp + 1, ub unchanged — computable
+            # before any outcome arrives.
+            self._speculate_step(spec, mp + 1, ub, options, current)
 
         winner: Optional[LatticeAssignment] = None
         for i, (rows, cols) in enumerate(shapes):
@@ -283,6 +437,11 @@ class ParallelEngine(SerialProber):
             attempts.append(outcome.attempt)
             if outcome.status == "sat":
                 winner = outcome.assignment
+                if speculating and winner is not None:
+                    # SAT branch: ub becomes the found size, lb unchanged.
+                    self._speculate_step(
+                        spec, lb, winner.size, options, current
+                    )
                 break
 
         # Losers: cancel what never started; results that still complete
@@ -311,6 +470,7 @@ class ParallelEngine(SerialProber):
         (:func:`repro.core.bounds.combine_bounds`), so the chosen initial
         bound is identical.
         """
+        self.stats.bound_calls += 1
         pool = self._pool
         if pool is None or len(methods) <= 1:
             return best_upper_bound(spec, methods)
@@ -332,8 +492,30 @@ class ParallelEngine(SerialProber):
         name: str = "f",
         options: JanusOptions = JanusOptions(),
     ) -> SynthesisResult:
-        """Run JANUS with this engine as the probe backend."""
-        return _synthesize(target, name=name, options=options, prober=self)
+        """Run JANUS with this engine as the probe backend.
+
+        With a cache attached (and ``suite=True``), the whole
+        :class:`SynthesisResult` is persisted under the spec+options
+        fingerprint: a warm call returns the stored result without
+        recomputing bounds or entering the dichotomic loop at all.
+        """
+        spec = make_spec(target, name=name, exact=options.exact_minimization)
+        key = None
+        if self.cache is not None and self.suite:
+            start = time.monotonic()
+            key = suite_cache_key(spec, options, mode=self._mode)
+            payload = self.cache.get(key)
+            if payload is not None:
+                result = synthesis_from_payload(payload, spec)
+                if result is not None:
+                    self.stats.suite_hits += 1
+                    result.wall_time = time.monotonic() - start
+                    return result
+            self.stats.suite_misses += 1
+        result = _synthesize(spec, name=name, options=options, prober=self)
+        if key is not None and self._suite_cacheable(result, options):
+            self.cache.put(key, synthesis_payload(result))
+        return result
 
     def imap_ordered(self, fn: Callable, items: Iterable):
         """Apply a picklable function across the pool, yielding results in
@@ -358,5 +540,5 @@ class ParallelEngine(SerialProber):
         cache = self.cache.root if self.cache is not None else None
         return (
             f"ParallelEngine(jobs={self.jobs}, cache={str(cache)!r}, "
-            f"portfolio={self.portfolio})"
+            f"portfolio={self.portfolio}, speculate={self.speculate})"
         )

@@ -101,13 +101,15 @@ class TestParallelIdentity:
 
 class TestWarmCache:
     def test_zero_solver_calls_and_identical_result(self, tmp_path, opts):
+        # suite=False throughout: this test pins down the *probe* cache
+        # layer; the suite layer has its own tests in test_suite.py.
         serial = [synthesize(e, options=opts) for e in EXPRESSIONS]
-        with ParallelEngine(jobs=1, cache=tmp_path / "cache") as cold:
+        with ParallelEngine(jobs=1, cache=tmp_path / "cache", suite=False) as cold:
             cold_runs = [cold.synthesize(e, options=opts) for e in EXPRESSIONS]
         assert cold.stats.solver_calls > 0
         assert cold.stats.cache_hits == 0
 
-        with ParallelEngine(jobs=1, cache=tmp_path / "cache") as warm:
+        with ParallelEngine(jobs=1, cache=tmp_path / "cache", suite=False) as warm:
             warm_runs = [warm.synthesize(e, options=opts) for e in EXPRESSIONS]
         assert warm.stats.solver_calls == 0  # every probe answered from disk
         assert warm.stats.cache_misses == 0

@@ -1,0 +1,168 @@
+"""Tests for cache hygiene: entry counting, write degradation, GC.
+
+The bugs these pin down: ``__len__``/``clear`` used to glob ``*/*.json``,
+which also matches ``.tmp-*.json`` leftovers from crashed writers; and
+``put`` used to propagate ``OSError`` out of a synthesis run when the
+cache directory was unwritable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.janus import JanusOptions, synthesize
+from repro.engine import ParallelEngine, ResultCache, cache_stats, gc_cache
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+KEY_C = "cc" + "2" * 62
+
+
+def _make_temp(cache: ResultCache, shard: str = "aa", name: str = ".tmp-x1.json"):
+    """Simulate a writer that died between mkstemp and os.replace."""
+    shard_dir = cache.root / shard
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    path = shard_dir / name
+    path.write_text('{"status":"sat"}')
+    return path
+
+
+def _age(path, seconds: float) -> None:
+    past = path.stat().st_mtime - seconds
+    os.utime(path, (past, past))
+
+
+class TestTempFilesAreNotEntries:
+    def test_len_ignores_crashed_writer_temps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "unsat"})
+        _make_temp(cache)
+        _make_temp(cache, shard="bb", name=".tmp-x2.json")
+        assert len(cache) == 1
+
+    def test_clear_removes_only_real_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "unsat"})
+        cache.put(KEY_B, {"status": "sat"})
+        temp = _make_temp(cache)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        # The temp is GC's business (an in-flight writer may still own it).
+        assert temp.exists()
+
+    def test_non_hex_json_droppings_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "unsat"})
+        (cache.root / "aa" / "README.json").write_text("{}")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+
+class TestPutDegradesOnOSError:
+    def test_put_warns_and_returns_false(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def boom(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.engine.cache.os.replace", boom)
+        with pytest.warns(RuntimeWarning, match="cache write"):
+            assert cache.put(KEY_A, {"status": "sat"}) is False
+        # Degraded: later writes are silently skipped, no warning spam.
+        assert cache.put(KEY_B, {"status": "sat"}) is False
+        assert len(cache) == 0
+
+    def test_reads_keep_working_after_write_failure(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "unsat"})
+        monkeypatch.setattr(
+            "repro.engine.cache.tempfile.mkstemp",
+            lambda *a, **k: (_ for _ in ()).throw(OSError(30, "Read-only")),
+        )
+        with pytest.warns(RuntimeWarning):
+            assert cache.put(KEY_B, {"status": "sat"}) is False
+        assert cache.get(KEY_A)["status"] == "unsat"  # warm reads still serve
+
+    def test_synthesis_survives_unwritable_cache(self, tmp_path, monkeypatch):
+        opts = JanusOptions(max_conflicts=20_000)
+        baseline = synthesize("cd + c'd' + abe", options=opts)
+        monkeypatch.setattr(
+            "repro.engine.cache.os.replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError(30, "Read-only")),
+        )
+        with ParallelEngine(jobs=1, cache=tmp_path) as engine:
+            with pytest.warns(RuntimeWarning):
+                result = engine.synthesize("cd + c'd' + abe", options=opts)
+        assert result.assignment.entries == baseline.assignment.entries
+        assert engine.stats.solver_calls > 0  # ran uncached, did not abort
+
+
+class TestGc:
+    def test_sweeps_only_stale_temps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "sat"})
+        stale = _make_temp(cache, name=".tmp-stale.json")
+        fresh = _make_temp(cache, name=".tmp-fresh.json")
+        _age(stale, 7200)
+        report = gc_cache(cache, tmp_grace=3600)
+        assert report.swept_temps == 1
+        assert not stale.exists() and fresh.exists()
+        assert len(cache) == 1  # entries untouched
+
+    def test_age_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "sat"})
+        cache.put(KEY_B, {"status": "unsat"})
+        _age(cache._path(KEY_A), 100 * 86400)
+        report = gc_cache(cache, max_age=30 * 86400)
+        assert report.evicted_by_age == 1
+        assert KEY_A not in cache and KEY_B in cache
+
+    def test_size_eviction_drops_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i, key in enumerate([KEY_A, KEY_B, KEY_C]):
+            cache.put(key, {"status": "sat", "pad": "x" * 200})
+            _age(cache._path(key), (3 - i) * 1000)  # A oldest, C newest
+        entry_size = cache._path(KEY_C).stat().st_size
+        report = gc_cache(cache, max_bytes=2 * entry_size)
+        assert report.evicted_by_size == 1
+        assert KEY_A not in cache  # the oldest went first
+        assert KEY_B in cache and KEY_C in cache
+
+    def test_prunes_empty_shard_dirs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "sat"})
+        _age(cache._path(KEY_A), 100)
+        report = gc_cache(cache, max_age=50)
+        assert report.evicted_by_age == 1
+        assert report.pruned_dirs == 1
+        assert not (cache.root / "aa").exists()
+
+    def test_no_bounds_means_no_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "sat"})
+        report = gc_cache(cache)
+        assert report.evicted == 0
+        assert len(cache) == 1
+
+
+class TestCacheStats:
+    def test_counts_entries_and_temps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "sat"})
+        cache.put(KEY_B, {"status": "unsat"})
+        _make_temp(cache)
+        st = cache_stats(cache)
+        assert st.entries == 2
+        assert st.temp_files == 1
+        assert st.entry_bytes > 0 and st.temp_bytes > 0
+
+    def test_ages_are_ordered(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, {"status": "sat"})
+        cache.put(KEY_B, {"status": "sat"})
+        _age(cache._path(KEY_A), 5000)
+        st = cache_stats(cache)
+        assert st.oldest_age >= 5000 > st.newest_age

@@ -109,3 +109,66 @@ class TestFaultsCommand:
         out = capsys.readouterr().out
         assert "testable" in out
         assert "minimal test set" in out
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"status": "sat"})
+        cache.put("cd" + "1" * 62, {"status": "unsat"})
+        (cache.root / "ab" / ".tmp-dead.json").write_text("{}")
+        return cache
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["cache", "stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 2" in out
+        assert "temp files: 1" in out
+
+    def test_clear(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["cache", "clear", str(tmp_path)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+    def test_gc_sweeps_stale_temps(self, tmp_path, capsys):
+        import os
+
+        cache = self._populate(tmp_path)
+        temp = cache.root / "ab" / ".tmp-dead.json"
+        past = temp.stat().st_mtime - 7200
+        os.utime(temp, (past, past))
+        assert main(["cache", "gc", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 1 temp files" in out
+        assert not temp.exists()
+
+    def test_gc_age_bound(self, tmp_path, capsys):
+        import os
+
+        cache = self._populate(tmp_path)
+        entry = cache._path("ab" + "0" * 62)
+        past = entry.stat().st_mtime - 100 * 86400
+        os.utime(entry, (past, past))
+        assert main(["cache", "gc", str(tmp_path), "--max-age-days", "30"]) == 0
+        assert "1 by age" in capsys.readouterr().out
+
+    def test_missing_dir_is_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["cache", "stats", str(missing)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestWarmSuiteCacheCommand:
+    def test_table2_warm_run_reports_zero_work(self, tmp_path, capsys):
+        argv = ["table2", "--names", "c17_01", "--cache", str(tmp_path)]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "engine    :" in cold_out
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "solver_calls=0" in warm_out
+        assert "bound_calls=0" in warm_out
+        assert "suite hits/misses=2/0" in warm_out
