@@ -7,46 +7,49 @@ Altun [11] and a p-circuit-style decomposition baseline [9] — on a few
 reconstructed benchmark slices, printing solution sizes and run times,
 with the paper's published values alongside.
 
+Every algorithm is addressed *by registry name* through the stable
+public API: one :class:`repro.api.Session` serves all runs, and swapping
+algorithms is just a different ``backend=`` string.
+
 Run:  python examples/algorithm_comparison.py
 """
 
-from repro import JanusOptions
+from repro.api import RequestOptions, Session
 from repro.bench import PAPER_TABLE2, build_instance
-from repro.core import (
-    approx_restricted,
-    decompose_pcircuit,
-    exact_search,
-    heuristic_candidates,
-    synthesize,
-)
 
 INSTANCES = ["b12_03", "c17_01", "dc1_00", "clpl_00", "misex1_00"]
 
-ALGORITHMS = [
-    ("JANUS", synthesize),
-    ("exact [6]", exact_search),
-    ("approx [6]", approx_restricted),
-    ("heuristic [11]", heuristic_candidates),
-    ("p-circuit [9]", decompose_pcircuit),
+BACKENDS = [
+    ("JANUS", "janus"),
+    ("exact [6]", "exact"),
+    ("approx [6]", "approx"),
+    ("heuristic [11]", "heuristic"),
+    ("p-circuit [9]", "pcircuit"),
 ]
 
 
 def main() -> None:
-    options = JanusOptions(max_conflicts=40_000)
+    options = RequestOptions(max_conflicts=40_000)
     paper = {row.name: row for row in PAPER_TABLE2}
 
-    for name in INSTANCES:
-        spec = build_instance(name)
-        row = paper[name]
-        print(f"\n{name}  (#in={spec.num_inputs}, #pi={spec.num_products}, "
-              f"degree={spec.degree})  "
-              f"[paper: JANUS {row.sol_janus}, exact {row.sol_exact}]")
-        for label, algorithm in ALGORITHMS:
-            result = algorithm(spec, options=options)
-            assert result.assignment.realizes(spec.tt)
-            marker = " <- minimum proven" if result.is_provably_minimum else ""
-            print(f"  {label:<15} {result.shape:>6} = {result.size:>3} switches "
-                  f"in {result.wall_time:6.2f}s{marker}")
+    with Session() as session:
+        for name in INSTANCES:
+            spec = build_instance(name)
+            row = paper[name]
+            print(f"\n{name}  (#in={spec.num_inputs}, #pi={spec.num_products}, "
+                  f"degree={spec.degree})  "
+                  f"[paper: JANUS {row.sol_janus}, exact {row.sol_exact}]")
+            for label, backend in BACKENDS:
+                response = session.synthesize(
+                    spec, backend=backend, options=options
+                )
+                assert response.result.assignment.realizes(spec.tt)
+                marker = (
+                    " <- minimum proven" if response.provably_minimum else ""
+                )
+                print(f"  {label:<15} {response.shape:>6} = "
+                      f"{response.size:>3} switches "
+                      f"in {response.wall_time:6.2f}s{marker}")
 
     print("\nNote: instances are reconstructed from the published "
           "(#in, #pi, degree) signatures, so absolute sizes differ from "

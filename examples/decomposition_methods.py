@@ -23,7 +23,8 @@ Run:  python examples/decomposition_methods.py
 
 import numpy as np
 
-from repro import JanusOptions, make_spec, synthesize
+from repro import make_spec
+from repro.api import RequestOptions, synthesize
 from repro.boolf import TruthTable
 from repro.core import (
     autosymmetry_degree,
@@ -44,7 +45,8 @@ def target() -> TruthTable:
 def main() -> None:
     tt = target()
     spec = make_spec(tt, name="axb_cxd_e")
-    options = JanusOptions(max_conflicts=60_000)
+    request_options = RequestOptions(max_conflicts=60_000)
+    options = request_options.to_janus_options()
 
     print("target: f = (a^b)(c^d)e")
     print(f"  minimized cover: {spec.isop.to_string()} "
@@ -52,7 +54,7 @@ def main() -> None:
     print(f"  autosymmetry degree k = {autosymmetry_degree(tt)}")
     print(f"  D-reducible: {is_dreducible(tt)}")
 
-    plain = synthesize(spec, options=options)
+    plain = synthesize(spec, options=request_options)
     print(f"\nplain JANUS        : {plain.shape} = {plain.size} switches, "
           f"no external gates")
 

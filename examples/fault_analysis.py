@@ -15,7 +15,8 @@ This example closes that loop for JANUS solutions:
 Run:  python examples/fault_analysis.py
 """
 
-from repro import JanusOptions, make_spec, synthesize
+from repro import make_spec
+from repro.api import RequestOptions, synthesize
 from repro.lattice import (
     fault_coverage,
     fault_table,
@@ -26,7 +27,10 @@ from repro.lattice import (
 
 def main() -> None:
     spec = make_spec("cd + c'd' + abe + a'b'e'", name="fig4")
-    result = synthesize(spec, options=JanusOptions(max_conflicts=60_000))
+    response = synthesize(
+        spec, options=RequestOptions(max_conflicts=60_000)
+    )
+    result = response.result
     lattice = result.assignment
     print(f"lattice under test: {result.shape} = {result.size} switches\n")
     print(render_ascii(lattice))

@@ -12,7 +12,8 @@ Run:  python examples/lattice_rendering.py
 
 import pathlib
 
-from repro import JanusOptions, make_spec, solve_lm, synthesize
+from repro import make_spec, solve_lm
+from repro.api import RequestOptions, synthesize
 from repro.lattice import render_ascii, render_svg
 
 
@@ -20,10 +21,10 @@ def main() -> None:
     # See DESIGN.md: the camera-ready PDF drops the overbars; the
     # extracted literal set pins the function as abcd + a'b'cd'.
     spec = make_spec("abcd + a'b'cd'", name="fig1")
-    options = JanusOptions(max_conflicts=60_000)
+    options = RequestOptions(max_conflicts=60_000)
 
     # Fig. 1(c): a (non-minimal) realization on the fixed 3x3 lattice.
-    outcome = solve_lm(spec, 3, 3, options)
+    outcome = solve_lm(spec, 3, 3, options.to_janus_options())
     assert outcome.assignment is not None, "3x3 should be feasible"
     on_3x3 = outcome.assignment
 
@@ -35,10 +36,12 @@ def main() -> None:
           "(* = conducting cells at abcd = 1111)\n")
     print(render_ascii(on_3x3, minterm=minterm))
 
-    # Fig. 1(d): the minimum-size lattice via the full JANUS search.
-    result = synthesize(spec, options=options)
-    print(f"\nFig. 1(d): minimum lattice found by JANUS: {result.shape} "
-          f"= {result.size} switches\n")
+    # Fig. 1(d): the minimum-size lattice via the full JANUS search,
+    # through the one-shot facade entry point.
+    response = synthesize(spec, options=options)
+    result = response.result
+    print(f"\nFig. 1(d): minimum lattice found by JANUS: {response.shape} "
+          f"= {response.size} switches\n")
     print(render_ascii(result.assignment))
 
     out_dir = pathlib.Path(__file__).resolve().parent

@@ -19,8 +19,9 @@ Run:  python examples/pla_workflow.py
 import pathlib
 import tempfile
 
-from repro import JanusOptions, make_spec, synthesize
+from repro import make_spec
 from repro.aig import Aig, BlifModel, equivalent_sat, read_blif, write_blif
+from repro.api import RequestOptions, Session
 from repro.boolf import TruthTable, espresso, exact_min_sop, read_pla
 from repro.core import synthesize_multi
 
@@ -47,26 +48,32 @@ def main() -> None:
         print(f"read {pla_path.name}: {len(pla.input_names)} inputs, "
               f"{len(pla.output_names)} outputs")
 
-        options = JanusOptions(max_conflicts=40_000)
+        options = RequestOptions(max_conflicts=40_000)
         tables: dict[str, TruthTable] = {}
-        for index, name in enumerate(pla.output_names):
-            tt = pla.output_truthtable(index)
-            tables[name] = tt
-            heuristic = espresso(tt, names=pla.input_names)
-            exact = exact_min_sop(tt, names=pla.input_names)
-            print(f"\n{name}: espresso {len(heuristic)} products, "
-                  f"exact minimum {len(exact)} products")
-            if tt.is_zero():
-                print("  constant 0 - no lattice needed")
-                continue
-            result = synthesize(
-                make_spec(tt, name=name), options=options
-            )
-            print(f"  lattice: {result.shape} = {result.size} switches")
+        # One session for every per-output synthesis (facade + shared
+        # engine config); JANUS-MF below stays on the core multi API.
+        with Session() as session:
+            for index, name in enumerate(pla.output_names):
+                tt = pla.output_truthtable(index)
+                tables[name] = tt
+                heuristic = espresso(tt, names=pla.input_names)
+                exact = exact_min_sop(tt, names=pla.input_names)
+                print(f"\n{name}: espresso {len(heuristic)} products, "
+                      f"exact minimum {len(exact)} products")
+                if tt.is_zero():
+                    print("  constant 0 - no lattice needed")
+                    continue
+                response = session.synthesize(
+                    make_spec(tt, name=name), options=options
+                )
+                print(f"  lattice: {response.shape} = "
+                      f"{response.size} switches")
 
         # One shared lattice for the non-constant outputs (JANUS-MF).
         active = {k: v for k, v in tables.items() if not v.is_zero()}
-        multi = synthesize_multi(list(active.values()), options=options)
+        multi = synthesize_multi(
+            list(active.values()), options=options.to_janus_options()
+        )
         print(f"\nJANUS-MF shared lattice: {multi.rows}x{multi.cols} "
               f"= {multi.size} switches for {len(active)} outputs")
 

@@ -1,20 +1,22 @@
 #!/usr/bin/env python3
 """Quickstart: synthesize a Boolean function onto a minimal switching lattice.
 
-This walks the full JANUS pipeline on the paper's Fig. 4 worked example:
+This walks the full JANUS pipeline on the paper's Fig. 4 worked example,
+through the stable public API (:mod:`repro.api`):
 
 1. parse a sum-of-products expression into a target spec (minimized cover
    plus the cover of its dual);
 2. inspect the six initial upper-bound constructions and the structural
    lower bound;
-3. run the dichotomic SAT search;
-4. print the resulting switch grid and double-check it with the
-   independent connectivity checker.
+3. run the dichotomic SAT search in a :class:`repro.api.Session`;
+4. print the resulting switch grid, show the JSON wire form, and
+   double-check the lattice with the independent connectivity checker.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import JanusOptions, make_spec, synthesize
+from repro import make_spec
+from repro.api import RequestOptions, Session, SynthesisResponse
 from repro.core import best_upper_bound, structural_lower_bound, ub_ds
 
 
@@ -32,24 +34,32 @@ def main() -> None:
     lb = structural_lower_bound(spec)
     print(f"\nstructural lower bound: {lb} switches")
 
-    options = JanusOptions(max_conflicts=60_000)
+    options = RequestOptions(max_conflicts=60_000)
     _best, bounds = best_upper_bound(spec)
-    bounds["ds"] = ub_ds(spec, options)
+    bounds["ds"] = ub_ds(spec, options.to_janus_options())
     print("initial upper bounds:")
     for method, result in sorted(bounds.items()):
         print(f"  {method:>5}: {result.rows}x{result.cols} = {result.size} switches")
 
-    result = synthesize(spec, options=options)
-    print(f"\nJANUS solution: {result.shape} = {result.size} switches "
-          f"({'provably minimum' if result.is_provably_minimum else 'approximate'})")
-    print(f"LM problems solved along the way: {len(result.attempts)}")
+    with Session() as session:
+        response = session.synthesize(spec, options=options)
+    print(f"\nJANUS solution: {response.shape} = {response.size} switches "
+          f"({'provably minimum' if response.provably_minimum else 'approximate'})")
+    print(f"LM problems solved along the way: {len(response.attempts)}")
 
     print("\nswitch assignment (rows connect the top plate to the bottom plate):")
+    result = response.result
     print(result.assignment.to_text())
+
+    # The response round-trips through its canonical JSON wire form —
+    # what a synthesis service would send back over HTTP.
+    wire = response.to_json()
+    assert SynthesisResponse.from_json(wire).to_json() == wire
+    print(f"\nwire form round-trips ({len(wire)} bytes of canonical JSON)")
 
     # Independent verification: flood-fill connectivity over all 2^r inputs.
     assert result.assignment.realizes(spec.tt), "checker disagrees!"
-    print("\nverified: the lattice realizes the target on every input vector")
+    print("verified: the lattice realizes the target on every input vector")
 
 
 if __name__ == "__main__":

@@ -8,14 +8,22 @@ the LM-to-SAT encoder, the bound constructions, the JANUS dichotomic
 search, JANUS-MF for multi-output functions, and the baseline algorithms
 the paper compares against.
 
-Quickstart::
+Quickstart (the stable public API lives in :mod:`repro.api`)::
 
-    import repro
+    from repro.api import Session
 
-    result = repro.synthesize("ab + a'b'c")
-    print(result.shape)                      # e.g. "3x3"
-    print(result.assignment.to_text())       # the switch assignment grid
+    with Session() as session:
+        response = session.synthesize("ab + a'b'c")
+    print(response.shape)                    # e.g. "3x2"
+    print(response.result.assignment.to_text())  # the switch grid
+    print(response.to_json())                # the JSON wire form
+
+The lower-level building blocks (truth tables, covers, the SAT solver,
+the encoder, the raw search drivers) stay importable from their
+subpackages for research use.
 """
+
+import warnings as _warnings
 
 from repro.boolf import Cube, Sop, TruthTable, isop, minimize, parse_sop
 from repro.core import (
@@ -30,14 +38,21 @@ from repro.core import (
     heuristic_candidates,
     make_spec,
     solve_lm,
-    synthesize,
     synthesize_multi,
 )
 from repro.engine import ParallelEngine, ResultCache
 from repro.lattice import CONST0, CONST1, Entry, Grid, LatticeAssignment
 from repro.sat import CdclSolver, Cnf, SolveResult, solve_cnf
+from repro.api import (
+    BatchRequest,
+    BatchResponse,
+    RequestOptions,
+    Session,
+    SynthesisRequest,
+    SynthesisResponse,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Cube",
@@ -70,5 +85,30 @@ __all__ = [
     "solve_cnf",
     "ParallelEngine",
     "ResultCache",
+    "Session",
+    "SynthesisRequest",
+    "SynthesisResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "RequestOptions",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the old top-level one-shot entry point.  It
+    # still works (and still returns the same SynthesisResult the core
+    # driver produces), but new code should go through repro.api, which
+    # adds sessions, pluggable backends and the JSON wire schema.
+    if name == "synthesize":
+        _warnings.warn(
+            "repro.synthesize is deprecated; use repro.api.Session / "
+            "repro.api.synthesize (returns a SynthesisResponse with the "
+            "result attached) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.janus import synthesize
+
+        return synthesize
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

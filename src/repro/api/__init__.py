@@ -1,0 +1,88 @@
+"""``repro.api`` — the stable public API for lattice synthesis.
+
+This facade is the one entry point every frontend shares: the CLI, the
+benchmark runner and the examples all speak it, and the eventual HTTP
+service will expose it verbatim.  Three pieces:
+
+* **Schema** (:mod:`repro.api.schema`) — versioned, validating
+  request/response dataclasses with a canonical JSON wire format:
+  :class:`SynthesisRequest` / :class:`SynthesisResponse` and their batch
+  forms.  ``from_json(x.to_json())`` round-trips exactly.
+* **Backends** (:mod:`repro.api.backends`) — the algorithm registry.
+  ``janus`` (alias ``eager``), ``cegar``, ``portfolio`` and the paper's
+  baselines (``exact``, ``approx``, ``heuristic``, ``pcircuit``) are
+  pre-registered; custom engines join via :func:`register_backend`.
+* **Sessions** (:mod:`repro.api.session`) — configuration + lifecycle.
+  A :class:`Session` owns the worker pool, the layered result caches and
+  the structured progress-event channel, and reuses them across calls.
+
+Quickstart::
+
+    from repro.api import Session
+
+    with Session(jobs=4, cache="~/.cache/janus") as session:
+        response = session.synthesize("ab + a'b'c")
+        print(response.shape, response.size)
+        print(response.to_json())          # the wire format
+
+One-shot helpers :func:`synthesize` and :func:`run_batch` wrap a
+throwaway session for scripts that make a single call.
+"""
+
+from repro.api.backends import (
+    REGISTRY,
+    Backend,
+    BackendContext,
+    BackendRegistry,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.api.events import (
+    BoundComputed,
+    CacheEvent,
+    EngineEvent,
+    ProbeFinished,
+    ProbeStarted,
+    SynthesisFinished,
+    SynthesisStarted,
+)
+from repro.api.schema import (
+    API_VERSION,
+    BatchRequest,
+    BatchResponse,
+    RequestOptions,
+    SynthesisRequest,
+    SynthesisResponse,
+)
+from repro.api.session import Session, run_batch, synthesize
+from repro.errors import ApiError, UnknownBackendError, ValidationError
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "Backend",
+    "BackendContext",
+    "BackendRegistry",
+    "BatchRequest",
+    "BatchResponse",
+    "BoundComputed",
+    "CacheEvent",
+    "EngineEvent",
+    "ProbeFinished",
+    "ProbeStarted",
+    "REGISTRY",
+    "RequestOptions",
+    "Session",
+    "SynthesisFinished",
+    "SynthesisRequest",
+    "SynthesisResponse",
+    "SynthesisStarted",
+    "UnknownBackendError",
+    "ValidationError",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "run_batch",
+    "synthesize",
+]

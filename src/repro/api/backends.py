@@ -1,0 +1,236 @@
+"""Pluggable synthesis backends behind a common protocol.
+
+A *backend* is one way to turn a :class:`TargetSpec` into a
+:class:`SynthesisResult`.  The registry maps stable string names — the
+``backend`` field of a :class:`~repro.api.schema.SynthesisRequest` — to
+implementations, so frontends select algorithms by name instead of
+importing solver internals:
+
+===========  ==============================================================
+name         algorithm
+===========  ==============================================================
+``janus``    the paper's dichotomic search (alias ``eager``); uses the
+             session's engine for probe racing / caching when available
+``cegar``    the same search with the lazy CEGAR prober per LM instance
+``portfolio``  JANUS with the eager-vs-CEGAR race inside every probe
+``exact``    exact method of Gange et al. [6] (plain encoding, old bounds)
+``approx``   approximate method of [6] (single-product path restriction)
+``heuristic``  shape heuristic of Morgul & Altun [11]
+``pcircuit`` p-circuit-style decomposition baseline [9]
+===========  ==============================================================
+
+Custom backends register with :func:`register_backend` (or
+``BackendRegistry.register`` on a private registry) and become
+addressable from every frontend, the JSON wire format included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.core.baselines import (
+    approx_restricted,
+    decompose_pcircuit,
+    exact_search,
+    heuristic_candidates,
+)
+from repro.core.janus import (
+    JanusOptions,
+    SerialProber,
+    SynthesisResult,
+    synthesize as _synthesize,
+)
+from repro.core.target import TargetSpec
+from repro.errors import UnknownBackendError, ValidationError
+
+__all__ = [
+    "Backend",
+    "BackendContext",
+    "BackendRegistry",
+    "REGISTRY",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
+
+
+@dataclass
+class BackendContext:
+    """Execution context a session hands to a backend.
+
+    ``engine`` is the session's :class:`~repro.engine.ParallelEngine`
+    (or ``None`` for the bare serial path); backends that can exploit
+    probe racing or the result caches route their search through it.
+    ``portfolio_engine`` is a factory for an engine with the per-probe
+    backend race enabled — only the ``portfolio`` backend asks for it.
+    """
+
+    engine: Optional[SerialProber] = None
+    portfolio_engine: Optional[Callable[[], SerialProber]] = None
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One named synthesis algorithm."""
+
+    name: str
+
+    def run(
+        self,
+        spec: TargetSpec,
+        options: JanusOptions,
+        context: BackendContext,
+    ) -> SynthesisResult: ...
+
+
+@dataclass(frozen=True)
+class _FunctionBackend:
+    """Adapter: a plain ``fn(spec, options=...)`` baseline as a Backend."""
+
+    name: str
+    fn: Callable[..., SynthesisResult]
+
+    def run(
+        self,
+        spec: TargetSpec,
+        options: JanusOptions,
+        context: BackendContext,
+    ) -> SynthesisResult:
+        return self.fn(spec, options=options)
+
+
+class _JanusBackend:
+    """The paper's search; rides the session engine when one exists."""
+
+    name = "janus"
+
+    def run(
+        self,
+        spec: TargetSpec,
+        options: JanusOptions,
+        context: BackendContext,
+    ) -> SynthesisResult:
+        engine = context.engine
+        if engine is not None:
+            engine_synthesize = getattr(engine, "synthesize", None)
+            if engine_synthesize is not None:
+                # The engine's own entry point engages the suite-level
+                # result cache, not just the probe layer.
+                return engine_synthesize(spec, options=options)
+            return _synthesize(spec, options=options, prober=engine)
+        return _synthesize(spec, options=options)
+
+
+class _CegarProber(SerialProber):
+    """Serial prober that decides every LM instance with the lazy CEGAR
+    loop instead of the eager paper encoding."""
+
+    def solve(self, spec, rows, cols, options):
+        from repro.core.cegar import solve_lm_lazy
+
+        return solve_lm_lazy(spec, rows, cols, options)
+
+
+class _CegarBackend:
+    name = "cegar"
+
+    def run(
+        self,
+        spec: TargetSpec,
+        options: JanusOptions,
+        context: BackendContext,
+    ) -> SynthesisResult:
+        result = _synthesize(spec, options=options, prober=_CegarProber())
+        result.method = "cegar"
+        return result
+
+
+class _PortfolioBackend:
+    """JANUS with the eager-vs-lazy race inside every probe.
+
+    Needs a portfolio-configured engine (two workers racing per LM
+    instance), which the session provides on demand.  Valid answers may
+    come from either encoder, so results need not match the
+    deterministic ``janus`` lattice — callers choose this backend for
+    wall-clock, not reproducibility.
+    """
+
+    name = "portfolio"
+
+    def run(
+        self,
+        spec: TargetSpec,
+        options: JanusOptions,
+        context: BackendContext,
+    ) -> SynthesisResult:
+        if context.portfolio_engine is None:
+            raise ValidationError(
+                "the 'portfolio' backend needs a session "
+                "(repro.api.Session) to provide its racing engine"
+            )
+        engine = context.portfolio_engine()
+        return engine.synthesize(spec, options=options)
+
+
+class BackendRegistry:
+    """Name -> :class:`Backend` mapping with alias support."""
+
+    def __init__(self) -> None:
+        self._backends: dict[str, Backend] = {}
+
+    def register(
+        self, backend: Backend, *aliases: str, replace: bool = False
+    ) -> Backend:
+        names = (backend.name, *aliases)
+        for name in names:
+            if not replace and name in self._backends:
+                raise ValidationError(
+                    f"backend name {name!r} is already registered"
+                )
+        for name in names:
+            self._backends[name] = backend
+        return backend
+
+    def get(self, name: str) -> Backend:
+        backend = self._backends.get(name)
+        if backend is None:
+            known = ", ".join(sorted(self._backends))
+            raise UnknownBackendError(
+                f"unknown backend {name!r}; registered backends: {known}"
+            )
+        return backend
+
+    def names(self) -> list[str]:
+        return sorted(self._backends)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def __repr__(self) -> str:
+        return f"BackendRegistry({self.names()})"
+
+
+#: The default registry every session resolves against.
+REGISTRY = BackendRegistry()
+REGISTRY.register(_JanusBackend(), "eager")
+REGISTRY.register(_CegarBackend())
+REGISTRY.register(_PortfolioBackend())
+REGISTRY.register(_FunctionBackend("exact", exact_search))
+REGISTRY.register(_FunctionBackend("approx", approx_restricted))
+REGISTRY.register(_FunctionBackend("heuristic", heuristic_candidates))
+REGISTRY.register(_FunctionBackend("pcircuit", decompose_pcircuit))
+
+
+def register_backend(backend: Backend, *aliases: str) -> Backend:
+    """Register a custom backend in the default registry."""
+    return REGISTRY.register(backend, *aliases)
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve a backend name, raising :class:`UnknownBackendError`."""
+    return REGISTRY.get(name)
+
+
+def backend_names() -> list[str]:
+    return REGISTRY.names()

@@ -1,0 +1,41 @@
+"""Public names for the structured progress/event channel.
+
+The event types are defined at the engine layer
+(:mod:`repro.engine.events`) because the engine emits them; this module
+re-exports them as part of the stable API surface.  Subscribe with
+``Session(events=callback)`` or ``session.subscribe(callback)``::
+
+    from repro.api import Session, ProbeFinished, CacheEvent
+
+    hits = 0
+
+    def watch(event):
+        global hits
+        if isinstance(event, CacheEvent) and event.hit:
+            hits += 1
+        if isinstance(event, ProbeFinished):
+            print(f"{event.name}: {event.rows}x{event.cols} {event.status}")
+
+    with Session(cache="/tmp/janus-cache", events=watch) as session:
+        session.synthesize("ab + a'b'c")
+"""
+
+from repro.engine.events import (
+    BoundComputed,
+    CacheEvent,
+    EngineEvent,
+    ProbeFinished,
+    ProbeStarted,
+    SynthesisFinished,
+    SynthesisStarted,
+)
+
+__all__ = [
+    "EngineEvent",
+    "ProbeStarted",
+    "ProbeFinished",
+    "BoundComputed",
+    "CacheEvent",
+    "SynthesisStarted",
+    "SynthesisFinished",
+]

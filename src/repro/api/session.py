@@ -1,0 +1,280 @@
+"""Sessions: engine configuration + lifecycle behind the stable API.
+
+A :class:`Session` owns everything stateful about synthesis — the worker
+pool, the layered result caches, speculation, the event channel — so
+callers configure once and submit many requests::
+
+    from repro.api import Session
+
+    with Session(jobs=4, cache="~/.cache/janus") as session:
+        response = session.synthesize("ab + a'b'c")
+        print(response.shape, response.size)
+
+The process pool and caches are reused across every ``synthesize`` /
+``run_batch`` call in the session, which is the point: per-call engine
+setup is what the old ad-hoc wiring paid over and over.
+
+Results are **byte-identical to the serial path** for deterministic
+backends: a session is just configuration around the same search the
+module-level :func:`repro.core.janus.synthesize` runs (the ``portfolio``
+backend is the documented exception — it races encoders and may return a
+different, equally valid lattice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+from repro.api.backends import (
+    REGISTRY,
+    BackendContext,
+    BackendRegistry,
+)
+from repro.api.schema import (
+    BatchRequest,
+    BatchResponse,
+    RequestOptions,
+    SynthesisRequest,
+    SynthesisResponse,
+    TargetLike,
+)
+from repro.core.target import TargetSpec
+from repro.engine.events import EngineEvent
+from repro.engine.parallel import EngineStats, ParallelEngine, default_jobs
+
+__all__ = ["Session", "synthesize", "run_batch"]
+
+
+class Session:
+    """A configured synthesis service: pluggable backends, shared engine.
+
+    Parameters mirror the engine's knobs: ``jobs`` worker processes
+    (0 = one per available CPU), ``cache`` for the persistent result
+    store (with the in-memory LRU layered on top; ``memory`` bounds its
+    entry count), ``speculate`` for next-step prefetching, ``portfolio``
+    to make the per-probe encoder race the session default.  ``events``
+    registers a structured progress callback
+    (:class:`~repro.engine.events.EngineEvent` subclasses); more can be
+    added later with :meth:`subscribe`.
+
+    Sessions are context managers; closing shuts the pool down.  A
+    closed session refuses further work.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[str, Path, None] = None,
+        portfolio: bool = False,
+        speculate: bool = True,
+        memory: Optional[int] = None,
+        events: Optional[Callable[[EngineEvent], None]] = None,
+        registry: Optional[BackendRegistry] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs == 0 else max(1, int(jobs))
+        self.cache = str(cache) if cache is not None else None
+        self.portfolio = portfolio
+        self.speculate = speculate
+        self.memory = memory
+        self.registry = registry if registry is not None else REGISTRY
+        self._callbacks: list[Callable[[EngineEvent], None]] = (
+            [events] if events is not None else []
+        )
+        self._engine: Optional[ParallelEngine] = None
+        self._portfolio_engine: Optional[ParallelEngine] = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for engine in (self._engine, self._portfolio_engine):
+            if engine is not None:
+                engine.close()
+        self._engine = None
+        self._portfolio_engine = None
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # -------------------------------------------------------------- engines
+    def _make_engine(self, portfolio: bool) -> ParallelEngine:
+        jobs = self.jobs
+        if portfolio:
+            # The per-probe backend race needs two workers even when the
+            # session is otherwise serial.
+            jobs = max(2, jobs)
+        engine = ParallelEngine(
+            jobs=jobs,
+            cache=self.cache,
+            portfolio=portfolio,
+            speculate=self.speculate,
+            memory=self.memory,
+        )
+        for callback in self._callbacks:
+            engine.events.subscribe(callback)
+        return engine
+
+    @property
+    def engine(self) -> ParallelEngine:
+        """The session's deterministic engine (created lazily, reused).
+
+        The portfolio engine is separate and only ever serves requests
+        whose *backend* is ``portfolio`` — a session-level
+        ``portfolio=True`` changes the default backend for raw targets,
+        but an explicit ``backend="janus"`` request must stay on the
+        deterministic path.
+        """
+        self._check_open()
+        if self._engine is None:
+            self._engine = self._make_engine(portfolio=False)
+        return self._engine
+
+    def _portfolio_engine_instance(self) -> ParallelEngine:
+        if self._portfolio_engine is None:
+            self._portfolio_engine = self._make_engine(portfolio=True)
+        return self._portfolio_engine
+
+    def subscribe(self, callback: Callable[[EngineEvent], None]) -> None:
+        """Add a progress-event callback; applies to existing engines and
+        any the session creates later."""
+        self._callbacks.append(callback)
+        for engine in (self._engine, self._portfolio_engine):
+            if engine is not None:
+                engine.events.subscribe(callback)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Merged work accounting across the session's engines."""
+        total = EngineStats()
+        for engine in (self._engine, self._portfolio_engine):
+            if engine is not None:
+                total.merge(dataclasses.asdict(engine.stats))
+        return total
+
+    def _stats_delta(self, before: dict) -> dict:
+        """Stats accumulated since a ``dataclasses.asdict`` snapshot."""
+        after = dataclasses.asdict(self.stats)
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+    # ------------------------------------------------------------ execution
+    def _coerce_request(
+        self,
+        target: Union[SynthesisRequest, TargetLike],
+        name: str,
+        backend: Optional[str],
+        options: Optional[RequestOptions],
+    ) -> tuple[SynthesisRequest, Optional[TargetSpec]]:
+        """Build the request plus, when the caller handed us a live
+        :class:`TargetSpec`, the spec itself (used directly so custom
+        covers survive; the wire form canonicalizes to truth tables)."""
+        if isinstance(target, SynthesisRequest):
+            request = target
+            if backend is not None:
+                request = request.with_backend(backend)
+            return request, None
+        request = SynthesisRequest.from_target(
+            target,
+            name=name,
+            backend=backend or ("portfolio" if self.portfolio else "janus"),
+            options=options or RequestOptions(),
+        )
+        spec = target if isinstance(target, TargetSpec) else None
+        return request, spec
+
+    def _run(
+        self, request: SynthesisRequest, spec: Optional[TargetSpec] = None
+    ) -> SynthesisResponse:
+        backend = self.registry.get(request.backend)
+        if spec is None:
+            spec = request.to_spec()
+        context = BackendContext(
+            engine=self.engine,
+            portfolio_engine=self._portfolio_engine_instance,
+        )
+        before = dataclasses.asdict(self.stats)
+        result = backend.run(spec, request.options.to_janus_options(), context)
+        return SynthesisResponse.from_result(
+            result,
+            backend=request.backend,
+            stats=self._stats_delta(before),
+        )
+
+    def synthesize(
+        self,
+        target: Union[SynthesisRequest, TargetLike],
+        name: str = "f",
+        backend: Optional[str] = None,
+        options: Optional[RequestOptions] = None,
+    ) -> SynthesisResponse:
+        """Run one synthesis job and return its response.
+
+        ``target`` may be a prepared :class:`SynthesisRequest` or any
+        raw target form (expression string, :class:`Sop`,
+        :class:`TruthTable`, :class:`TargetSpec`); the remaining
+        arguments apply only to raw targets.
+        """
+        self._check_open()
+        request, spec = self._coerce_request(target, name, backend, options)
+        return self._run(request, spec)
+
+    def run_batch(
+        self,
+        batch: Union[BatchRequest, Iterable[SynthesisRequest]],
+    ) -> BatchResponse:
+        """Run a batch of requests in order under this session.
+
+        One engine (pool + caches) serves the whole batch; responses come
+        back in request order, each with its own per-request stats delta,
+        and the batch carries the aggregate.
+        """
+        self._check_open()
+        if not isinstance(batch, BatchRequest):
+            batch = BatchRequest(requests=tuple(batch))
+        start = time.monotonic()
+        before = dataclasses.asdict(self.stats)
+        responses = [self._run(request) for request in batch.requests]
+        return BatchResponse(
+            responses=responses,
+            wall_time=time.monotonic() - start,
+            stats=self._stats_delta(before),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(jobs={self.jobs}, cache={self.cache!r}, "
+            f"portfolio={self.portfolio}, closed={self._closed})"
+        )
+
+
+# ------------------------------------------------------------- conveniences
+def synthesize(
+    target: Union[SynthesisRequest, TargetLike],
+    name: str = "f",
+    backend: Optional[str] = None,
+    options: Optional[RequestOptions] = None,
+    **session_kwargs,
+) -> SynthesisResponse:
+    """One-shot facade call: a throwaway serial :class:`Session`."""
+    with Session(**session_kwargs) as session:
+        return session.synthesize(
+            target, name=name, backend=backend, options=options
+        )
+
+
+def run_batch(
+    batch: Union[BatchRequest, Iterable[SynthesisRequest]],
+    **session_kwargs,
+) -> BatchResponse:
+    """One-shot batch run in a throwaway :class:`Session`."""
+    with Session(**session_kwargs) as session:
+        return session.run_batch(batch)

@@ -12,7 +12,6 @@ from repro.bench.instances import (
     synth_signature,
 )
 from repro.bench.runner import (
-    ALGORITHMS,
     AlgoResult,
     BoundsReport,
     Table2Row,
@@ -25,6 +24,14 @@ from repro.bench.runner import (
     run_table2_instance,
 )
 from repro.bench.tables import Fig4Report, Table3Row, fig4, table1, table2, table3
+
+
+def __getattr__(name: str):
+    if name == "ALGORITHMS":  # deprecated shim; warns in repro.bench.runner
+        from repro.bench import runner
+
+        return runner.ALGORITHMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "PAPER_TABLE2",

@@ -33,19 +33,16 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
-from repro.core.baselines import (
-    approx_restricted,
-    decompose_pcircuit,
-    exact_search,
-    heuristic_candidates,
-)
+from repro.api.backends import BackendContext, get_backend
+from repro.api.schema import SynthesisResponse
 from repro.core.bounds import best_upper_bound
 from repro.core.decompose import ub_ds
-from repro.core.janus import JanusOptions, SynthesisResult, synthesize
+from repro.core.janus import JanusOptions, make_spec
 from repro.core.structural import structural_lower_bound
 from repro.core.target import TargetSpec
 from repro.bench.instances import PAPER_TABLE2, PaperRow, build_instance
@@ -64,13 +61,38 @@ __all__ = [
     "default_options",
 ]
 
-ALGORITHMS: dict[str, Callable] = {
-    "janus": synthesize,
-    "exact": exact_search,
-    "approx": approx_restricted,
-    "heuristic": heuristic_candidates,
-    "pcircuit": decompose_pcircuit,
-}
+
+def _legacy_algorithm(backend_name: str) -> Callable:
+    """Old-style ``fn(target, name=..., options=...)`` callable resolved
+    through the backend registry (see the ``ALGORITHMS`` shim below)."""
+
+    def run(target, name: str = "f", options: Optional[JanusOptions] = None,
+            prober=None):
+        options = options or JanusOptions()
+        spec = make_spec(target, name=name, exact=options.exact_minimization)
+        return get_backend(backend_name).run(
+            spec, options, BackendContext(engine=prober)
+        )
+
+    return run
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the old algorithm table of bare callables.  The
+    # registry (repro.api.get_backend) is the supported way to resolve
+    # an algorithm by name.
+    if name == "ALGORITHMS":
+        warnings.warn(
+            "repro.bench.runner.ALGORITHMS is deprecated; resolve "
+            "algorithms by name via repro.api.get_backend instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            key: _legacy_algorithm(key)
+            for key in ("janus", "exact", "approx", "heuristic", "pcircuit")
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 _FAST_MAX_INPUTS = 7
 _MEDIUM_MAX_INPUTS = 8
@@ -129,6 +151,9 @@ class AlgoResult:
     # The lattice itself as (var, positive) pairs, so determinism checks
     # (bench_parallel) can compare parallel vs serial runs cell by cell.
     entries: tuple = ()
+    # Full SynthesisResponse in wire form (a plain dict, so it crosses
+    # the shard-worker pickle boundary); feeds `table2 --json`.
+    response: Optional[dict] = None
 
 
 @dataclass
@@ -252,19 +277,17 @@ def run_algorithm(
     options: Optional[JanusOptions] = None,
     prober=None,
 ) -> AlgoResult:
+    """Run one named backend on one instance.
+
+    Algorithms resolve through the :mod:`repro.api` backend registry;
+    an engine ``prober`` rides along in the :class:`BackendContext` so
+    the ``janus`` backend engages probe racing and the suite-level
+    result cache exactly as before the facade.
+    """
     options = options or default_options()
-    fn = ALGORITHMS[algorithm]
-    if prober is not None and algorithm == "janus":
-        # Only JANUS speaks the prober protocol; the baselines keep their
-        # own search loops.  An engine prober runs the search through its
-        # own entry point so the suite-level result cache engages.
-        engine_synthesize = getattr(prober, "synthesize", None)
-        if engine_synthesize is not None:
-            result: SynthesisResult = engine_synthesize(spec, options=options)
-        else:
-            result = fn(spec, options=options, prober=prober)
-    else:
-        result = fn(spec, options=options)
+    backend = get_backend(algorithm)
+    result = backend.run(spec, options, BackendContext(engine=prober))
+    response = SynthesisResponse.from_result(result, backend=algorithm)
     return AlgoResult(
         algorithm=algorithm,
         shape=result.shape,
@@ -272,6 +295,7 @@ def run_algorithm(
         wall_time=result.wall_time,
         provably_minimum=result.is_provably_minimum,
         entries=tuple((e.var, e.positive) for e in result.assignment.entries),
+        response=response.to_wire(),
     )
 
 

@@ -16,9 +16,10 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.api.backends import BackendContext, get_backend
 from repro.core.bounds import best_upper_bound
 from repro.core.decompose import ub_ds
-from repro.core.janus import JanusOptions, synthesize
+from repro.core.janus import JanusOptions
 from repro.core.multi import merge_straightforward, synthesize_multi
 from repro.core.structural import structural_lower_bound
 from repro.core.target import TargetSpec
@@ -104,7 +105,10 @@ def fig4(options: Optional[JanusOptions] = None) -> Fig4Report:
         bounds["ds"] = (ds.rows, ds.cols)
     except Exception:
         pass
-    result = synthesize(spec, options=options)
+    # Resolve JANUS through the backend registry (not core.janus
+    # directly) but hand it the caller's full JanusOptions — the wire
+    # schema's RequestOptions would drop the EncodeOptions knobs.
+    result = get_backend("janus").run(spec, options, BackendContext())
     return Fig4Report(
         bounds=bounds,
         lb=structural_lower_bound(spec),

@@ -5,13 +5,21 @@ Subcommands::
     janus synth "ab + a'b'c"          synthesize one function
     janus synth --pla file.pla -o 0   synthesize a PLA output
     janus synth "..." --jobs 4 --cache ~/.janus-cache   parallel + cached
+    janus synth "..." --backend exact --json   pick a backend; wire output
     janus table1 [--max 8]            regenerate Table I
     janus fig4                        regenerate the Fig. 4 bound example
     janus table2 [--profile fast] [--algorithms janus,exact,...]
     janus table2 --jobs 4 --cache DIR shard instances across workers
+    janus table2 --json               emit the BatchResponse wire form
     janus table3 [--names squar5,misex1,bw]
     janus cache stats DIR             entries/bytes/temp files in a cache
+    janus cache verify DIR            replay stored assignments vs specs
     janus cache gc DIR --max-age-days 30 --max-size-mb 512   bounded GC
+
+The CLI is a thin frontend over the stable :mod:`repro.api` facade —
+every synthesis goes through a :class:`repro.api.Session`, and ``--json``
+emits exactly the ``SynthesisResponse``/``BatchResponse`` wire schema a
+future HTTP service will serve.
 
 ``--jobs 0`` means "one worker per *available* CPU" (cgroup/affinity
 aware).  ``--cache DIR`` persists every decisive LM probe result *and*
@@ -27,8 +35,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.api import RequestOptions, Session
+from repro.api import synthesize as api_synthesize
 from repro.boolf.pla import read_pla
-from repro.core.janus import JanusOptions, synthesize
 from repro.core.target import TargetSpec
 
 __all__ = ["main", "build_parser"]
@@ -71,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="race the eager and lazy (CEGAR) backends per probe",
     )
+    p_synth.add_argument(
+        "--backend",
+        default=None,
+        help="synthesis backend by registry name "
+        "(janus, cegar, portfolio, exact, approx, heuristic, pcircuit)",
+    )
+    p_synth.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the SynthesisResponse JSON wire form instead of text",
+    )
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I (product counts)")
     p_t1.add_argument("--max", type=int, default=8, help="largest m and n")
@@ -107,14 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="race the eager and lazy (CEGAR) backends inside every probe",
     )
+    p_t2.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the BatchResponse JSON wire form instead of the table",
+    )
 
     p_t3 = sub.add_parser("table3", help="run the Table III comparison")
     p_t3.add_argument("--names", default="squar5,misex1,bw")
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clean a persistent result cache"
+        "cache", help="inspect, verify or clean a persistent result cache"
     )
-    p_cache.add_argument("action", choices=("stats", "clear", "gc"))
+    p_cache.add_argument("action", choices=("stats", "clear", "gc", "verify"))
     p_cache.add_argument("dir", metavar="DIR", help="cache directory")
     p_cache.add_argument(
         "--max-age-days",
@@ -175,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_summary(stats: dict, jobs) -> str:
+    return (
+        f"engine    : jobs={jobs or 'auto'} "
+        f"solver_calls={stats['solver_calls']} "
+        f"bound_calls={stats['bound_calls']} "
+        f"cache hits/misses={stats['cache_hits']}/{stats['cache_misses']} "
+        f"memory hits={stats['memory_hits']} "
+        f"suite hits/misses={stats['suite_hits']}/{stats['suite_misses']} "
+        f"speculated={stats['speculated']}"
+    )
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     if args.pla:
         with open(args.pla) as fh:
@@ -188,43 +225,34 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     else:
         print("error: provide an expression or --pla", file=sys.stderr)
         return 2
-    options = JanusOptions(
-        max_conflicts=args.max_conflicts, lm_time_limit=args.time_limit
+    options = RequestOptions(
+        max_conflicts=args.max_conflicts, time_limit=args.time_limit
     )
-    if args.jobs != 1 or args.cache or args.portfolio:
-        from repro.engine import ParallelEngine
-
-        jobs = args.jobs if args.jobs != 0 else None
-        if args.portfolio:
-            from repro.engine import default_jobs
-
-            # The backend race needs two workers, even when --jobs 0
-            # resolves to a single available CPU.
-            jobs = max(2, jobs if jobs is not None else default_jobs())
-        with ParallelEngine(
-            jobs=jobs, cache=args.cache, portfolio=args.portfolio
-        ) as engine:
-            result = engine.synthesize(spec, options=options)
-            stats = engine.stats
-        print(
-            f"engine    : jobs={jobs or 'auto'} "
-            f"solver_calls={stats.solver_calls} "
-            f"bound_calls={stats.bound_calls} "
-            f"cache hits/misses={stats.cache_hits}/{stats.cache_misses} "
-            f"suite hits/misses={stats.suite_hits}/{stats.suite_misses} "
-            f"speculated={stats.speculated}"
+    engine_wanted = args.jobs != 1 or args.cache or args.portfolio
+    with Session(
+        jobs=args.jobs,
+        cache=args.cache,
+        portfolio=args.portfolio,
+    ) as session:
+        response = session.synthesize(
+            spec, backend=args.backend, options=options
         )
-    else:
-        result = synthesize(spec, options=options)
+        engine_used = session._portfolio_engine or session._engine
+        engine_jobs = engine_used.jobs if engine_used is not None else None
+    if args.json:
+        print(response.to_json())
+        return 0
+    if engine_wanted and response.stats is not None:
+        print(_engine_summary(response.stats, engine_jobs))
     print(f"target    : {spec.name} (#in={spec.num_inputs}, "
           f"#pi={spec.num_products}, degree={spec.degree})")
     print(f"isop      : {spec.isop.to_string()}")
-    print(f"bounds    : lb={result.initial_lower_bound}, "
-          f"initial ub={result.initial_upper_bound} {result.upper_bounds}")
-    print(f"solution  : {result.shape} = {result.size} switches "
-          f"({'provably minimum' if result.is_provably_minimum else 'approximate'}) "
-          f"in {result.wall_time:.1f}s")
-    print(result.assignment.to_text())
+    print(f"bounds    : lb={response.initial_lower_bound}, "
+          f"initial ub={response.initial_upper_bound} {response.upper_bounds}")
+    print(f"solution  : {response.shape} = {response.size} switches "
+          f"({'provably minimum' if response.provably_minimum else 'approximate'}) "
+          f"in {response.wall_time:.1f}s")
+    print(response.result.assignment.to_text())
     return 0
 
 
@@ -257,22 +285,49 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         from repro.engine import default_jobs
 
         jobs = default_jobs()
+    import time
+
+    start = time.monotonic()
     rows, report = table2(
         profile=args.profile,
         algorithms=algorithms,
         names=names,
+        verbose=not args.json,
         jobs=jobs,
         cache=args.cache,
         portfolio=args.portfolio,
     )
-    print(report)
+    elapsed = time.monotonic() - start
     snapshots = [r.engine for r in rows if r.engine]
+    total = None
     if snapshots:
+        import dataclasses
+
         from repro.engine import EngineStats
 
         total = EngineStats()
         for snapshot in snapshots:
             total.merge(snapshot)
+    if args.json:
+        from repro.api import BatchResponse, SynthesisResponse
+
+        responses = [
+            SynthesisResponse.from_wire(res.response)
+            for row in rows
+            for res in row.results.values()
+            if res.response is not None
+        ]
+        # wall_time is elapsed batch time, the same meaning
+        # Session.run_batch gives the field.
+        batch = BatchResponse(
+            responses=responses,
+            wall_time=elapsed,
+            stats=dataclasses.asdict(total) if total is not None else None,
+        )
+        print(batch.to_json())
+        return 0
+    print(report)
+    if total is not None:
         print(
             f"engine    : solver_calls={total.solver_calls} "
             f"bound_calls={total.bound_calls} "
@@ -307,6 +362,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         print(f"removed {cache.clear()} entries")
         return 0
+    if args.action == "verify":
+        from repro.engine import verify_cache
+
+        report = verify_cache(cache)
+        print(
+            f"replayed {report.checked} stored assignments: "
+            f"{report.verified} verified, {report.mismatched} mismatched"
+        )
+        print(
+            f"skipped   : {report.skipped} without assignments, "
+            f"{report.unverifiable} without spec snapshots, "
+            f"{report.corrupt} corrupt"
+        )
+        for key in report.mismatches:
+            print(f"MISMATCH  : {key}", file=sys.stderr)
+        return 0 if report.ok else 1
     report = gc_cache(
         cache,
         max_age=(
@@ -344,8 +415,8 @@ def _cmd_render(args: argparse.Namespace) -> int:
     from repro.lattice.render import render_ascii, render_svg
 
     spec = TargetSpec.from_string(args.expression)
-    options = JanusOptions(max_conflicts=args.max_conflicts)
-    result = synthesize(spec, options=options)
+    options = RequestOptions(max_conflicts=args.max_conflicts)
+    result = api_synthesize(spec, options=options).result
     print(f"solution: {result.shape} = {result.size} switches")
     if args.minterm is not None and not spec.tt.evaluate(args.minterm):
         print(f"note: minterm {args.minterm:#x} is not in the onset; "
@@ -414,8 +485,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.lattice.faults import fault_coverage, fault_table, minimal_test_set
 
     spec = TargetSpec.from_string(args.expression)
-    options = JanusOptions(max_conflicts=args.max_conflicts)
-    result = synthesize(spec, options=options)
+    options = RequestOptions(max_conflicts=args.max_conflicts)
+    result = api_synthesize(spec, options=options).result
     print(f"lattice: {result.shape} = {result.size} switches")
     report = fault_table(result.assignment)
     print(f"faults: {report.num_faults} total, {len(report.testable)} "

@@ -32,7 +32,18 @@ flags.
 """
 
 from repro.engine.cache import ResultCache
+from repro.engine.events import (
+    BoundComputed,
+    CacheEvent,
+    EngineEvent,
+    EventEmitter,
+    ProbeFinished,
+    ProbeStarted,
+    SynthesisFinished,
+    SynthesisStarted,
+)
 from repro.engine.gc import CacheStats, GcReport, cache_stats, gc_cache
+from repro.engine.memcache import LruCache
 from repro.engine.parallel import EngineStats, ParallelEngine, default_jobs
 from repro.engine.signature import (
     lm_cache_key,
@@ -44,15 +55,26 @@ from repro.engine.suite import (
     synthesis_from_payload,
     synthesis_payload,
 )
+from repro.engine.verify import VerifyReport, verify_cache
 from repro.engine.worker import LmRequest, run_lm_request
 
 __all__ = [
+    "BoundComputed",
+    "CacheEvent",
     "CacheStats",
+    "EngineEvent",
     "EngineStats",
+    "EventEmitter",
     "GcReport",
     "LmRequest",
+    "LruCache",
     "ParallelEngine",
+    "ProbeFinished",
+    "ProbeStarted",
     "ResultCache",
+    "SynthesisFinished",
+    "SynthesisStarted",
+    "VerifyReport",
     "cache_stats",
     "default_jobs",
     "gc_cache",
@@ -63,4 +85,5 @@ __all__ = [
     "suite_cache_key",
     "synthesis_from_payload",
     "synthesis_payload",
+    "verify_cache",
 ]

@@ -1,0 +1,137 @@
+"""Structured progress events emitted by the synthesis engine.
+
+The engine used to expose progress only as an :class:`EngineStats`
+snapshot read after the fact.  Events turn that into a live channel: a
+caller registers a callback (``ParallelEngine(events=...)`` or
+``repro.api.Session(events=...)``) and receives one frozen dataclass per
+occurrence, in emission order, on the calling thread.
+
+Event types:
+
+* :class:`ProbeStarted` / :class:`ProbeFinished` — one LM probe's
+  lifecycle.  ``speculative=True`` marks prefetches for a possible next
+  dichotomic step; ``cached=True`` on the finish marks an answer served
+  without solving.
+* :class:`BoundComputed` — one constructive upper bound (method, shape,
+  size).
+* :class:`CacheEvent` — one cache lookup: ``layer`` is ``"memory"``
+  (the in-process LRU), ``"disk"`` (the persistent
+  :class:`~repro.engine.cache.ResultCache`) or ``"suite"`` (whole-result
+  records); ``hit`` says whether it answered.
+* :class:`SynthesisStarted` / :class:`SynthesisFinished` — one whole
+  JANUS run through the engine (``from_cache=True`` when the suite layer
+  answered it).
+
+Callbacks must be cheap and must not raise; a raising callback is
+disabled after the first error rather than corrupting the search (a
+progress bar bug must never change a synthesis result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "EngineEvent",
+    "ProbeStarted",
+    "ProbeFinished",
+    "BoundComputed",
+    "CacheEvent",
+    "SynthesisStarted",
+    "SynthesisFinished",
+    "EventEmitter",
+]
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base class for every event on the channel."""
+
+    name: str  # target function's display name
+
+
+@dataclass(frozen=True)
+class ProbeStarted(EngineEvent):
+    rows: int
+    cols: int
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class ProbeFinished(EngineEvent):
+    rows: int
+    cols: int
+    status: str  # "sat" | "unsat" | "unknown" | "structural" | "skipped"
+    conflicts: int = 0
+    wall_time: float = 0.0
+    cached: bool = False
+    side: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BoundComputed(EngineEvent):
+    method: str
+    rows: int
+    cols: int
+    size: int
+
+
+@dataclass(frozen=True)
+class CacheEvent(EngineEvent):
+    layer: str  # "memory" | "disk" | "suite"
+    hit: bool
+    key: str = ""
+
+
+@dataclass(frozen=True)
+class SynthesisStarted(EngineEvent):
+    backend: str = "janus"
+
+
+@dataclass(frozen=True)
+class SynthesisFinished(EngineEvent):
+    rows: int
+    cols: int
+    size: int
+    wall_time: float
+    from_cache: bool = False
+
+
+class EventEmitter:
+    """Fan events out to zero or more callbacks, defensively.
+
+    ``None`` callbacks are ignored at registration.  A callback that
+    raises is dropped (with its error noted once) instead of propagating
+    into the search loop.
+    """
+
+    __slots__ = ("_callbacks",)
+
+    def __init__(
+        self, callback: Optional[Callable[[EngineEvent], None]] = None
+    ) -> None:
+        self._callbacks: list[Callable[[EngineEvent], None]] = []
+        if callback is not None:
+            self._callbacks.append(callback)
+
+    def subscribe(self, callback: Callable[[EngineEvent], None]) -> None:
+        if callback is not None:
+            self._callbacks.append(callback)
+
+    def __bool__(self) -> bool:
+        return bool(self._callbacks)
+
+    def emit(self, event: EngineEvent) -> None:
+        for callback in list(self._callbacks):
+            try:
+                callback(event)
+            except Exception:
+                import warnings
+
+                self._callbacks.remove(callback)
+                warnings.warn(
+                    f"event callback {callback!r} raised and was disabled",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )

@@ -70,6 +70,17 @@ from repro.core.janus import (
 from repro.core.janus import synthesize as _synthesize
 from repro.core.target import TargetSpec
 from repro.engine.cache import ResultCache
+from repro.engine.events import (
+    BoundComputed,
+    CacheEvent,
+    EngineEvent,
+    EventEmitter,
+    ProbeFinished,
+    ProbeStarted,
+    SynthesisFinished,
+    SynthesisStarted,
+)
+from repro.engine.memcache import DEFAULT_MEMORY_ENTRIES, LruCache
 from repro.engine.signature import lm_cache_key
 from repro.engine.suite import (
     suite_cache_key,
@@ -132,6 +143,8 @@ class EngineStats:
     speculated: int = 0  # probes prefetched for a possible next step
     speculative_hits: int = 0  # prefetched probes a later step consumed
     speculative_waste: int = 0  # prefetched probes the search never needed
+    memory_hits: int = 0  # cache hits served by the in-process LRU layer
+    memory_misses: int = 0  # LRU lookups that fell through to disk
 
     def merge(self, other: dict) -> None:
         """Fold a stats snapshot (``dataclasses.asdict`` form) into self."""
@@ -162,6 +175,8 @@ class ParallelEngine(SerialProber):
         portfolio: bool = False,
         speculate: bool = True,
         suite: bool = True,
+        memory: Optional[int] = None,
+        events: Optional[Callable[[EngineEvent], None]] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -171,6 +186,16 @@ class ParallelEngine(SerialProber):
         self.speculate = speculate
         self.suite = suite
         self.stats = EngineStats()
+        # In-memory LRU above the on-disk cache: hot intra-run repeats
+        # skip the file open + JSON parse.  ``memory`` is an entry count
+        # (0 disables); without a disk cache there is nothing to layer
+        # over, so the LRU stays off and probe semantics are unchanged.
+        if memory is None:
+            memory = DEFAULT_MEMORY_ENTRIES
+        self.memory: Optional[LruCache] = (
+            LruCache(memory) if (cache is not None and memory > 0) else None
+        )
+        self.events = EventEmitter(events)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._prefetched: dict[str, Future] = {}
         self._closed = False
@@ -221,12 +246,40 @@ class ParallelEngine(SerialProber):
             return True
         return not any(a.status == "unknown" for a in result.attempts)
 
+    def _payload_get(
+        self, key: str, name: str, emit: bool = True
+    ) -> Optional[dict]:
+        """Layered lookup: in-process LRU first, then the on-disk cache.
+
+        Disk hits are promoted into the LRU so the next intra-run repeat
+        is a dict lookup.  Emits one :class:`CacheEvent` per lookup,
+        tagged with the layer that answered (or ``disk``/miss); callers
+        that emit their own per-lookup event (the suite layer) pass
+        ``emit=False`` so a lookup never produces two events.
+        """
+        if self.memory is not None:
+            payload = self.memory.get(key)
+            if payload is not None:
+                self.stats.memory_hits += 1
+                if emit and self.events:
+                    self.events.emit(CacheEvent(name, "memory", True, key))
+                return payload
+            self.stats.memory_misses += 1
+        if self.cache is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is not None and self.memory is not None:
+            self.memory.put(key, payload)
+        if emit and self.events:
+            self.events.emit(CacheEvent(name, "disk", payload is not None, key))
+        return payload
+
     def _cache_get(
         self, key: str, spec: TargetSpec, options: JanusOptions
     ) -> Optional[LmOutcome]:
         if self.cache is None:
             return None
-        payload = self.cache.get(key)
+        payload = self._payload_get(key, spec.name)
         if payload is None:
             self.stats.cache_misses += 1
             return None
@@ -238,6 +291,31 @@ class ParallelEngine(SerialProber):
     ) -> None:
         if self.cache is not None and self._cacheable(payload, options):
             self.cache.put(key, payload)
+            if self.memory is not None:
+                self.memory.put(key, payload)
+
+    # ---------------------------------------------------------------- events
+    def _probe_started(
+        self, spec: TargetSpec, rows: int, cols: int, speculative: bool = False
+    ) -> None:
+        if self.events:
+            self.events.emit(ProbeStarted(spec.name, rows, cols, speculative))
+
+    def _probe_finished(self, spec: TargetSpec, outcome: LmOutcome) -> None:
+        if self.events:
+            a = outcome.attempt
+            self.events.emit(
+                ProbeFinished(
+                    spec.name,
+                    a.rows,
+                    a.cols,
+                    outcome.status,
+                    conflicts=a.conflicts,
+                    wall_time=a.wall_time,
+                    cached=a.cached,
+                    side=a.side,
+                )
+            )
 
     # ---------------------------------------------------------------- probes
     def _record(self, outcome: LmOutcome) -> LmOutcome:
@@ -262,13 +340,16 @@ class ParallelEngine(SerialProber):
         )
         hit = self._cache_get(key, spec, options)
         if hit is not None:
+            self._probe_finished(spec, hit)
             return hit
+        self._probe_started(spec, rows, cols)
         if race and self._pool is not None:
             outcome = self._solve_portfolio(spec, rows, cols, options)
         else:
             outcome = solve_lm(spec, rows, cols, options)
         self._record(outcome)
-        self._cache_put(key, outcome_payload(outcome), options)
+        self._cache_put(key, outcome_payload(outcome, spec), options)
+        self._probe_finished(spec, outcome)
         return outcome
 
     def _solve_portfolio(
@@ -358,6 +439,7 @@ class ParallelEngine(SerialProber):
             )
             self.stats.dispatched += 1
             self.stats.speculated += 1
+            self._probe_started(spec, rows, cols, speculative=True)
 
     def first_sat(
         self,
@@ -411,6 +493,7 @@ class ParallelEngine(SerialProber):
                         run_lm_request, LmRequest(spec, rows, cols, options)
                     )
                     self.stats.dispatched += 1
+                    self._probe_started(spec, rows, cols)
                 futures[i] = fut
 
         speculating = (
@@ -431,10 +514,14 @@ class ParallelEngine(SerialProber):
                 if fut is not None:
                     outcome = outcome_from_payload(fut.result(), spec)
                 else:  # no pool: solve locally, in order
+                    self._probe_started(spec, rows, cols)
                     outcome = solve_lm(spec, rows, cols, options)
                 self._record(outcome)
-                self._cache_put(keys[i], outcome_payload(outcome), options)
+                self._cache_put(
+                    keys[i], outcome_payload(outcome, spec), options
+                )
             attempts.append(outcome.attempt)
+            self._probe_finished(spec, outcome)
             if outcome.status == "sat":
                 winner = outcome.assignment
                 if speculating and winner is not None:
@@ -473,7 +560,9 @@ class ParallelEngine(SerialProber):
         self.stats.bound_calls += 1
         pool = self._pool
         if pool is None or len(methods) <= 1:
-            return best_upper_bound(spec, methods)
+            best, all_bounds = best_upper_bound(spec, methods)
+            self._bounds_computed(spec, all_bounds)
+            return best, all_bounds
         payloads = pool.map(
             run_bound_request, [(spec, m) for m in methods], chunksize=1
         )
@@ -483,7 +572,18 @@ class ParallelEngine(SerialProber):
             for method, payload in zip(methods, payloads)
             if payload is not None
         }
-        return combine_bounds(spec, results)
+        best, all_bounds = combine_bounds(spec, results)
+        self._bounds_computed(spec, all_bounds)
+        return best, all_bounds
+
+    def _bounds_computed(self, spec: TargetSpec, all_bounds: dict) -> None:
+        if self.events:
+            for method, bound in all_bounds.items():
+                self.events.emit(
+                    BoundComputed(
+                        spec.name, method, bound.rows, bound.cols, bound.size
+                    )
+                )
 
     # ---------------------------------------------------------------- driver
     def synthesize(
@@ -500,22 +600,48 @@ class ParallelEngine(SerialProber):
         recomputing bounds or entering the dichotomic loop at all.
         """
         spec = make_spec(target, name=name, exact=options.exact_minimization)
+        if self.events:
+            self.events.emit(SynthesisStarted(spec.name, self._mode))
         key = None
         if self.cache is not None and self.suite:
             start = time.monotonic()
             key = suite_cache_key(spec, options, mode=self._mode)
-            payload = self.cache.get(key)
+            payload = self._payload_get(key, spec.name, emit=False)
+            if self.events:
+                self.events.emit(
+                    CacheEvent(spec.name, "suite", payload is not None, key)
+                )
             if payload is not None:
                 result = synthesis_from_payload(payload, spec)
                 if result is not None:
                     self.stats.suite_hits += 1
                     result.wall_time = time.monotonic() - start
+                    self._synthesis_finished(spec, result, from_cache=True)
                     return result
             self.stats.suite_misses += 1
         result = _synthesize(spec, name=name, options=options, prober=self)
         if key is not None and self._suite_cacheable(result, options):
-            self.cache.put(key, synthesis_payload(result))
+            payload = synthesis_payload(result)
+            self.cache.put(key, payload)
+            if self.memory is not None:
+                self.memory.put(key, payload)
+        self._synthesis_finished(spec, result)
         return result
+
+    def _synthesis_finished(
+        self, spec: TargetSpec, result: SynthesisResult, from_cache: bool = False
+    ) -> None:
+        if self.events:
+            self.events.emit(
+                SynthesisFinished(
+                    spec.name,
+                    result.rows,
+                    result.cols,
+                    result.size,
+                    result.wall_time,
+                    from_cache=from_cache,
+                )
+            )
 
     def imap_ordered(self, fn: Callable, items: Iterable):
         """Apply a picklable function across the pool, yielding results in

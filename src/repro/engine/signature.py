@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.core.janus import JanusOptions
 from repro.core.target import TargetSpec
+from repro.engine.wire import _tt_hex  # shared bit packing with spec snapshots
 
 __all__ = [
     "spec_fingerprint",
@@ -35,13 +36,6 @@ __all__ = [
 ]
 
 _KEY_VERSION = 1  # bump when the encoding or solver behavior changes
-
-
-def _tt_hex(tt) -> str:
-    """Truth-table bits as hex (packed little-endian by minterm index)."""
-    import numpy as np
-
-    return np.packbits(tt.values, bitorder="little").tobytes().hex()
 
 
 def spec_fingerprint(spec: TargetSpec) -> dict:

@@ -32,9 +32,15 @@ import hashlib
 import json
 from typing import Optional
 
-from repro.core.janus import JanusOptions, LmAttempt, SynthesisResult
+from repro.core.janus import JanusOptions, SynthesisResult
 from repro.core.target import TargetSpec
-from repro.engine.worker import _assignment_from_payload, _assignment_payload
+from repro.engine.wire import (
+    assignment_from_wire,
+    assignment_to_wire,
+    attempt_from_wire,
+    attempt_to_wire,
+    spec_snapshot,
+)
 from repro.engine.signature import options_fingerprint, spec_fingerprint
 
 __all__ = [
@@ -64,42 +70,24 @@ def suite_cache_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _attempt_payload(a: LmAttempt) -> dict:
-    return {
-        "rows": a.rows,
-        "cols": a.cols,
-        "status": a.status,
-        "side": a.side,
-        "complexity": a.complexity,
-        "conflicts": a.conflicts,
-        "wall_time": a.wall_time,
-    }
-
-
-def _attempt_from_payload(p: dict) -> LmAttempt:
-    return LmAttempt(
-        rows=p["rows"],
-        cols=p["cols"],
-        status=p["status"],
-        side=p["side"],
-        complexity=p["complexity"],
-        conflicts=p["conflicts"],
-        wall_time=p["wall_time"],
-        cached=True,
-    )
-
-
 def synthesis_payload(result: SynthesisResult) -> dict:
-    """Serialize a complete :class:`SynthesisResult` for the cache."""
+    """Serialize a complete :class:`SynthesisResult` for the cache.
+
+    Serialization delegates to the shared wire schema
+    (:mod:`repro.engine.wire`), so suite entries, worker results and API
+    responses all agree on the attempt/assignment shapes.  The spec
+    snapshot makes the entry self-verifying for ``janus cache verify``.
+    """
     return {
         "kind": "synthesis",
-        "assignment": _assignment_payload(result.assignment),
+        "assignment": assignment_to_wire(result.assignment),
+        "spec": spec_snapshot(result.spec),
         "lower_bound": result.lower_bound,
         "initial_upper_bound": result.initial_upper_bound,
         "upper_bounds": {
             k: [r, c] for k, (r, c) in result.upper_bounds.items()
         },
-        "attempts": [_attempt_payload(a) for a in result.attempts],
+        "attempts": [attempt_to_wire(a) for a in result.attempts],
         "wall_time": result.wall_time,
         "method": result.method,
         "initial_lower_bound": result.initial_lower_bound,
@@ -113,7 +101,9 @@ def synthesis_from_payload(
     if payload.get("kind") != "synthesis":
         return None
     try:
-        assignment = _assignment_from_payload(payload["assignment"], spec)
+        assignment = assignment_from_wire(
+            payload["assignment"], spec.num_inputs, spec.name_list()
+        )
         if assignment is None:
             return None
         return SynthesisResult(
@@ -124,7 +114,10 @@ def synthesis_from_payload(
             upper_bounds={
                 k: (r, c) for k, (r, c) in payload["upper_bounds"].items()
             },
-            attempts=[_attempt_from_payload(a) for a in payload["attempts"]],
+            attempts=[
+                attempt_from_wire(a, cached=True)
+                for a in payload["attempts"]
+            ],
             wall_time=payload["wall_time"],
             method=payload["method"],
             initial_lower_bound=payload["initial_lower_bound"],

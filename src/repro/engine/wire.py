@@ -1,0 +1,137 @@
+"""Shared wire schema primitives: assignments, attempts, spec snapshots.
+
+One serialization, three consumers.  The payload forms defined here are
+used verbatim by
+
+* :mod:`repro.engine.worker` — results crossing the process-pool
+  boundary,
+* :mod:`repro.engine.cache` / :mod:`repro.engine.suite` — payloads
+  persisted in the on-disk result cache, and
+* :mod:`repro.api.schema` — the public ``SynthesisResponse`` JSON wire
+  format (the future HTTP service speaks exactly these shapes).
+
+Keeping them in one module means a worker result can be written to the
+cache verbatim, a cache hit decodes through the same path as a pool
+result, and an API response embeds the same attempt/assignment objects a
+cache entry stores — there is no second schema to drift.
+
+The *spec snapshot* is deliberately smaller than a full
+:class:`~repro.core.target.TargetSpec`: just the truth-table bits (and
+don't-cares) needed to replay a stored assignment against the function
+it claims to realize.  ``janus cache verify`` uses it to audit a cache
+without any out-of-band information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.janus import LmAttempt
+from repro.core.target import TargetSpec
+from repro.lattice.assignment import Entry, LatticeAssignment
+
+__all__ = [
+    "assignment_to_wire",
+    "assignment_from_wire",
+    "attempt_to_wire",
+    "attempt_from_wire",
+    "spec_snapshot",
+    "snapshot_tables",
+]
+
+
+# ------------------------------------------------------------- assignments
+def assignment_to_wire(
+    assignment: Optional[LatticeAssignment],
+) -> Optional[dict]:
+    """``{"rows", "cols", "entries": [[var|null, positive], ...]}``."""
+    if assignment is None:
+        return None
+    return {
+        "rows": assignment.rows,
+        "cols": assignment.cols,
+        "entries": [[e.var, e.positive] for e in assignment.entries],
+    }
+
+
+def assignment_from_wire(
+    payload: Optional[dict],
+    num_inputs: int,
+    names: Optional[list] = None,
+) -> Optional[LatticeAssignment]:
+    """Rebuild an assignment; ``names`` are cosmetic and caller-supplied."""
+    if payload is None:
+        return None
+    entries = [
+        Entry.lit(var, positive) if var is not None else Entry.const(positive)
+        for var, positive in payload["entries"]
+    ]
+    return LatticeAssignment(
+        payload["rows"], payload["cols"], entries, num_inputs, names
+    )
+
+
+# ---------------------------------------------------------------- attempts
+def attempt_to_wire(attempt: LmAttempt) -> dict:
+    return {
+        "rows": attempt.rows,
+        "cols": attempt.cols,
+        "status": attempt.status,
+        "side": attempt.side,
+        "complexity": attempt.complexity,
+        "conflicts": attempt.conflicts,
+        "wall_time": attempt.wall_time,
+    }
+
+
+def attempt_from_wire(payload: dict, cached: bool = False) -> LmAttempt:
+    return LmAttempt(
+        rows=payload["rows"],
+        cols=payload["cols"],
+        status=payload["status"],
+        side=payload["side"],
+        complexity=payload["complexity"],
+        conflicts=payload["conflicts"],
+        wall_time=payload["wall_time"],
+        cached=cached,
+    )
+
+
+# ----------------------------------------------------------- spec snapshots
+def _tt_hex(tt) -> str:
+    """Truth-table bits as hex (packed little-endian by minterm index)."""
+    import numpy as np
+
+    return np.packbits(tt.values, bitorder="little").tobytes().hex()
+
+
+def _tt_from_hex(hexbits: str, num_vars: int):
+    import numpy as np
+
+    from repro.boolf.truthtable import TruthTable
+
+    raw = np.frombuffer(bytes.fromhex(hexbits), dtype=np.uint8)
+    bits = np.unpackbits(raw, bitorder="little")[: 1 << num_vars]
+    return TruthTable(bits.astype(bool), num_vars)
+
+
+def spec_snapshot(spec: TargetSpec) -> dict:
+    """The minimum needed to *re-verify* a stored assignment: the onset
+    (and optional don't-care set) of the target function."""
+    return {
+        "num_vars": spec.num_inputs,
+        "tt": _tt_hex(spec.tt),
+        "dc": _tt_hex(spec.dc) if spec.dc is not None else None,
+    }
+
+
+def snapshot_tables(snapshot: dict):
+    """``(onset, upper)`` truth tables from a spec snapshot: a replayed
+    assignment is correct when onset <= realized <= upper."""
+    num_vars = snapshot["num_vars"]
+    onset = _tt_from_hex(snapshot["tt"], num_vars)
+    if snapshot.get("dc"):
+        upper = onset | _tt_from_hex(snapshot["dc"], num_vars)
+    else:
+        upper = onset
+    return onset, upper

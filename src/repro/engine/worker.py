@@ -2,10 +2,16 @@
 
 Everything here must be picklable and importable at module level (the
 pool pickles the *function reference* plus its arguments).  Results cross
-the process boundary as plain JSON-able dicts — the same payloads the
+the process boundary as plain JSON-able dicts in the shared wire schema
+(:mod:`repro.engine.wire`) — the same payloads the
 :class:`~repro.engine.cache.ResultCache` stores, so a worker result can
 be written to the cache verbatim and a cache hit decodes through the
 same path as a pool result.
+
+SAT outcomes additionally carry a compact *spec snapshot* (truth-table
+and don't-care bits), which is what lets ``janus cache verify`` replay a
+stored assignment against the function it claims to realize without any
+out-of-band information.
 """
 
 from __future__ import annotations
@@ -15,9 +21,16 @@ from typing import Optional
 
 from repro.errors import SynthesisError
 from repro.core.bounds import UB_METHODS, BoundResult
-from repro.core.janus import JanusOptions, LmAttempt, LmOutcome, solve_lm
+from repro.core.janus import JanusOptions, LmOutcome, solve_lm
 from repro.core.target import TargetSpec
-from repro.lattice.assignment import Entry, LatticeAssignment
+from repro.engine.wire import (
+    assignment_from_wire,
+    assignment_to_wire,
+    attempt_from_wire,
+    attempt_to_wire,
+    spec_snapshot,
+)
+from repro.lattice.assignment import LatticeAssignment
 
 __all__ = [
     "LmRequest",
@@ -41,67 +54,41 @@ class LmRequest:
     backend: str = "eager"  # "eager" (paper encoding) | "lazy" (CEGAR)
 
 
-def _assignment_payload(assignment: Optional[LatticeAssignment]) -> Optional[dict]:
-    if assignment is None:
-        return None
-    return {
-        "rows": assignment.rows,
-        "cols": assignment.cols,
-        "entries": [[e.var, e.positive] for e in assignment.entries],
-    }
+def _assignment_payload(
+    assignment: Optional[LatticeAssignment],
+) -> Optional[dict]:
+    return assignment_to_wire(assignment)
 
 
 def _assignment_from_payload(
     payload: Optional[dict], spec: TargetSpec
 ) -> Optional[LatticeAssignment]:
-    if payload is None:
-        return None
-    entries = [
-        Entry.lit(var, positive) if var is not None else Entry.const(positive)
-        for var, positive in payload["entries"]
-    ]
-    return LatticeAssignment(
-        payload["rows"],
-        payload["cols"],
-        entries,
-        spec.num_inputs,
-        spec.name_list(),
-    )
+    return assignment_from_wire(payload, spec.num_inputs, spec.name_list())
 
 
-def outcome_payload(outcome: LmOutcome) -> dict:
-    """Serialize an :class:`LmOutcome` for IPC and the result cache."""
-    a = outcome.attempt
-    return {
+def outcome_payload(
+    outcome: LmOutcome, spec: Optional[TargetSpec] = None
+) -> dict:
+    """Serialize an :class:`LmOutcome` for IPC and the result cache.
+
+    When ``spec`` is given and the outcome carries an assignment, a spec
+    snapshot rides along so the cache entry is self-verifying.
+    """
+    payload = {
         "status": outcome.status,
-        "assignment": _assignment_payload(outcome.assignment),
-        "attempt": {
-            "rows": a.rows,
-            "cols": a.cols,
-            "status": a.status,
-            "side": a.side,
-            "complexity": a.complexity,
-            "conflicts": a.conflicts,
-            "wall_time": a.wall_time,
-        },
+        "assignment": assignment_to_wire(outcome.assignment),
+        "attempt": attempt_to_wire(outcome.attempt),
     }
+    if spec is not None and outcome.assignment is not None:
+        payload["spec"] = spec_snapshot(spec)
+    return payload
 
 
 def outcome_from_payload(
     payload: dict, spec: TargetSpec, cached: bool = False
 ) -> LmOutcome:
     """Rebuild an :class:`LmOutcome`; names come from the *current* spec."""
-    a = payload["attempt"]
-    attempt = LmAttempt(
-        rows=a["rows"],
-        cols=a["cols"],
-        status=a["status"],
-        side=a["side"],
-        complexity=a["complexity"],
-        conflicts=a["conflicts"],
-        wall_time=a["wall_time"],
-        cached=cached,
-    )
+    attempt = attempt_from_wire(payload["attempt"], cached=cached)
     assignment = _assignment_from_payload(payload["assignment"], spec)
     return LmOutcome(payload["status"], assignment, attempt)
 
@@ -118,13 +105,13 @@ def run_lm_request(request: LmRequest) -> dict:
         outcome = solve_lm(
             request.spec, request.rows, request.cols, request.options
         )
-    return outcome_payload(outcome)
+    return outcome_payload(outcome, spec=request.spec)
 
 
 def bound_payload(bound: BoundResult) -> dict:
     return {
         "method": bound.method,
-        "assignment": _assignment_payload(bound.assignment),
+        "assignment": assignment_to_wire(bound.assignment),
     }
 
 

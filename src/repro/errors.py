@@ -39,3 +39,15 @@ class BudgetExceeded(ReproError):
 class CacheError(ReproError):
     """Raised when the persistent result cache cannot be used (e.g. the
     cache path exists but is not a directory)."""
+
+
+class ApiError(ReproError):
+    """Base class for errors raised by the public :mod:`repro.api` facade."""
+
+
+class ValidationError(ApiError):
+    """Raised when an API request (or its wire form) fails validation."""
+
+
+class UnknownBackendError(ApiError):
+    """Raised when a request names a backend the registry does not know."""

@@ -1,0 +1,92 @@
+"""Backend registry tests: lookup, aliases, unknown names, custom backends."""
+
+import pytest
+
+from repro.api import (
+    REGISTRY,
+    BackendContext,
+    BackendRegistry,
+    RequestOptions,
+    Session,
+    backend_names,
+    get_backend,
+)
+from repro.core.janus import JanusOptions, SynthesisResult, make_spec, synthesize
+from repro.errors import UnknownBackendError, ValidationError
+
+
+class TestDefaultRegistry:
+    def test_expected_backends_registered(self):
+        names = backend_names()
+        for expected in (
+            "janus", "eager", "cegar", "portfolio",
+            "exact", "approx", "heuristic", "pcircuit",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        assert "janus" in message  # the error lists what IS available
+
+    def test_eager_is_an_alias_for_janus(self):
+        assert get_backend("eager") is get_backend("janus")
+
+    def test_janus_backend_runs_without_a_session(self):
+        spec = make_spec("ab + a'b'")
+        options = JanusOptions(max_conflicts=20_000)
+        result = get_backend("janus").run(spec, options, BackendContext())
+        baseline = synthesize(spec, options=options)
+        assert result.assignment.entries == baseline.assignment.entries
+
+    def test_portfolio_without_session_raises(self):
+        spec = make_spec("ab")
+        with pytest.raises(ValidationError):
+            get_backend("portfolio").run(
+                spec, JanusOptions(max_conflicts=100), BackendContext()
+            )
+
+
+class TestCustomRegistry:
+    class _EchoBackend:
+        """Returns whatever the janus backend returns, tagged."""
+
+        name = "echo"
+
+        def run(self, spec, options, context):
+            result = get_backend("janus").run(spec, options, context)
+            result.method = "echo"
+            return result
+
+    def test_register_and_resolve(self):
+        registry = BackendRegistry()
+        backend = self._EchoBackend()
+        registry.register(backend, "repeat")
+        assert registry.get("echo") is backend
+        assert registry.get("repeat") is backend
+        assert "echo" in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+        registry.register(self._EchoBackend())
+        with pytest.raises(ValidationError):
+            registry.register(self._EchoBackend())
+        registry.register(self._EchoBackend(), replace=True)  # explicit wins
+
+    def test_custom_backend_through_session(self):
+        registry = BackendRegistry()
+        registry.register(self._EchoBackend())
+        registry.register(get_backend("janus"))  # sessions still need janus
+        with Session(registry=registry) as session:
+            response = session.synthesize(
+                "ab + a'b'",
+                backend="echo",
+                options=RequestOptions(max_conflicts=20_000),
+            )
+        assert response.method == "echo"
+        assert isinstance(response.result, SynthesisResult)
+
+    def test_default_registry_is_shared(self):
+        assert REGISTRY.get("janus") is get_backend("janus")

@@ -1,0 +1,98 @@
+"""Tests for cache verification (``janus cache verify``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.janus import JanusOptions, make_spec
+from repro.engine import ParallelEngine, ResultCache, verify_cache
+
+
+@pytest.fixture
+def opts():
+    return JanusOptions(max_conflicts=20_000)
+
+
+def _populate(tmp_path, opts, expr="cd + c'd' + abe"):
+    with ParallelEngine(jobs=1, cache=tmp_path) as engine:
+        engine.synthesize(expr, options=opts)
+    return ResultCache(tmp_path)
+
+
+def _sat_entry_paths(cache):
+    """Entries that store an assignment (and are therefore replayable)."""
+    out = []
+    for path in cache.iter_entries():
+        payload = json.loads(path.read_text())
+        if payload.get("assignment") is not None:
+            out.append(path)
+    return out
+
+
+class TestVerifyCache:
+    def test_fresh_cache_verifies_clean(self, tmp_path, opts):
+        cache = _populate(tmp_path, opts)
+        report = verify_cache(cache)
+        assert report.ok
+        assert report.checked >= 1
+        assert report.verified == report.checked
+        assert report.mismatched == 0
+        assert report.unverifiable == 0
+
+    def test_corrupted_assignment_is_flagged(self, tmp_path, opts):
+        cache = _populate(tmp_path, opts)
+        victim = _sat_entry_paths(cache)[0]
+        payload = json.loads(victim.read_text())
+        # Flip every switch to the complementary literal: the stored
+        # lattice no longer realizes the function it is keyed by.
+        payload["assignment"]["entries"] = [
+            [var, not positive] if var is not None else [var, positive]
+            for var, positive in payload["assignment"]["entries"]
+        ]
+        victim.write_text(json.dumps(payload))
+        report = verify_cache(cache)
+        assert not report.ok
+        assert report.mismatched >= 1
+        assert any(key in victim.name for key in report.mismatches)
+
+    def test_entry_without_snapshot_is_unverifiable(self, tmp_path, opts):
+        cache = _populate(tmp_path, opts)
+        victim = _sat_entry_paths(cache)[0]
+        payload = json.loads(victim.read_text())
+        payload.pop("spec", None)
+        victim.write_text(json.dumps(payload))
+        report = verify_cache(cache)
+        assert report.ok  # old-format entries are skipped, not failed
+        assert report.unverifiable >= 1
+
+    def test_unsat_entries_are_skipped(self, tmp_path, opts):
+        spec = make_spec("cd + c'd' + abe")
+        with ParallelEngine(jobs=1, cache=tmp_path) as engine:
+            outcome = engine.solve(spec, 2, 2, opts)  # too small: unsat
+        assert outcome.status == "unsat"
+        report = verify_cache(ResultCache(tmp_path))
+        assert report.skipped >= 1
+        assert report.ok
+
+
+class TestVerifyCli:
+    def test_clean_cache_exits_zero(self, tmp_path, opts, capsys):
+        _populate(tmp_path, opts)
+        assert main(["cache", "verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "0 mismatched" in out
+
+    def test_corrupt_cache_exits_nonzero(self, tmp_path, opts, capsys):
+        cache = _populate(tmp_path, opts)
+        victim = _sat_entry_paths(cache)[0]
+        payload = json.loads(victim.read_text())
+        payload["assignment"]["entries"] = [
+            [var, not positive] if var is not None else [var, positive]
+            for var, positive in payload["assignment"]["entries"]
+        ]
+        victim.write_text(json.dumps(payload))
+        assert main(["cache", "verify", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "MISMATCH" in captured.err

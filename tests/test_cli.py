@@ -161,6 +161,49 @@ class TestCacheCommand:
         assert "not a directory" in capsys.readouterr().err
 
 
+class TestJsonOutput:
+    def test_synth_json_emits_the_wire_schema(self, capsys):
+        from repro.api import SynthesisResponse
+
+        assert main(
+            ["synth", "ab + a'b'", "--max-conflicts", "20000", "--json"]
+        ) == 0
+        out = capsys.readouterr().out.strip()
+        response = SynthesisResponse.from_json(out)
+        assert response.backend == "janus"
+        assert response.size >= 1
+        assert response.to_json() == out  # canonical form
+
+    def test_synth_json_with_backend(self, capsys):
+        from repro.api import SynthesisResponse
+
+        assert main(
+            [
+                "synth", "ab + a'b'",
+                "--max-conflicts", "20000",
+                "--backend", "heuristic",
+                "--json",
+            ]
+        ) == 0
+        response = SynthesisResponse.from_json(capsys.readouterr().out)
+        assert response.backend == "heuristic"
+
+    def test_synth_unknown_backend_is_a_clean_error(self, capsys):
+        assert main(["synth", "ab", "--backend", "warp"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_table2_json_emits_a_batch(self, capsys):
+        from repro.api import BatchResponse
+
+        assert main(["table2", "--names", "b12_03", "--json"]) == 0
+        out = capsys.readouterr().out.strip()
+        batch = BatchResponse.from_json(out)
+        assert len(batch) == 1
+        assert batch.responses[0].name == "b12_03"
+        assert batch.responses[0].backend == "janus"
+        assert batch.to_json() == out
+
+
 class TestWarmSuiteCacheCommand:
     def test_table2_warm_run_reports_zero_work(self, tmp_path, capsys):
         argv = ["table2", "--names", "c17_01", "--cache", str(tmp_path)]
