@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Cold vs incremental LM probing on the Table II instances.
+
+Two comparisons, one correctness contract:
+
+1. **End-to-end synthesis** — every instance is synthesized twice, with
+   the stateless :class:`~repro.core.janus.SerialProber` (a fresh CNF
+   and a cold ``CdclSolver`` per probe — the pre-incremental code path)
+   and with the :class:`~repro.core.janus.IncrementalProber` (one live
+   solver per instance: memoized repeats, shape-domination pruning,
+   family probes under selector assumptions, assumption-core widening).
+   The two results must be **byte-identical** — same lattice entries,
+   shape, size and bounds — for every instance; this is asserted, not
+   sampled.  Totals (SAT propagations, wall clock) are reported for
+   both paths.
+
+2. **Realizability frontier** — the bulk-probing workload the
+   incremental engine is built for: for every instance and every row
+   count, binary-search the minimal realizable width
+   (``fit_columns``-style).  The cold side answers each query
+   statelessly; the incremental side runs the same queries through
+   :meth:`IncrementalProber.decide`, where an instance-lifetime solver
+   plus the two monotone shortcuts (a refuted shape refutes everything
+   below it, a found lattice realizes everything above it) answer most
+   of the grid for free.  Frontiers are asserted identical, and the
+   aggregate propagation ratio is the bench's headline number — the
+   acceptance bar is >= 1.5x fewer propagations (``--min-ratio``).
+
+Propagation counts are exact and deterministic (conflict-budgeted
+probes, no wall-clock limit), so the ratio is reproducible across
+machines; wall-clock speedup is reported alongside.  Results are
+written to ``BENCH_pr4.json`` (``--json-out``) for the CI perf-smoke
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --limit 6
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        --limit 4 --max-conflicts 8000 --json-out BENCH_pr4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.bench.instances import PAPER_TABLE2, build_instance
+from repro.bench.runner import profile_names
+from repro.core.janus import (
+    IncrementalProber,
+    JanusOptions,
+    SERIAL_PROBER,
+    synthesize,
+)
+from repro.core.structural import structural_check
+from repro.lattice.paths import left_right_paths8, top_bottom_paths
+from repro.sat import solver as sat_solver
+
+
+class _PropagationMeter:
+    """Process-wide propagation counter: sums the stats of every solver
+    constructed while the meter is active (probes inside ``ub_ds``
+    subcalls included, which per-result attempt lists miss)."""
+
+    def __init__(self) -> None:
+        self._stats: list = []
+        self._orig_init = None
+
+    def __enter__(self) -> "_PropagationMeter":
+        self._orig_init = sat_solver.CdclSolver.__init__
+        stats_list = self._stats
+        orig = self._orig_init
+
+        def counting_init(solver, *args, **kwargs):
+            orig(solver, *args, **kwargs)
+            stats_list.append(solver.stats)
+
+        sat_solver.CdclSolver.__init__ = counting_init
+        return self
+
+    def __exit__(self, *exc) -> None:
+        sat_solver.CdclSolver.__init__ = self._orig_init
+
+    @property
+    def propagations(self) -> int:
+        return sum(s.propagations for s in self._stats)
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.assignment.entries == b.assignment.entries
+        and a.shape == b.shape
+        and a.size == b.size
+        and a.lower_bound == b.lower_bound
+        and a.initial_upper_bound == b.initial_upper_bound
+        and a.upper_bounds == b.upper_bounds
+    )
+
+
+def _frontier(spec, options, probe, rmax: int, cmax: int) -> dict:
+    """Minimal realizable width per row count via binary search."""
+    out = {}
+    for rows in range(1, rmax + 1):
+        if probe(spec, rows, cmax, options) != "sat":
+            out[rows] = None
+            continue
+        lo, hi, best = 1, cmax - 1, cmax
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if probe(spec, rows, mid, options) == "sat":
+                best, hi = mid, mid - 1
+            else:
+                lo = mid + 1
+        out[rows] = best
+    return out
+
+
+def _cold_decide(spec, rows, cols, options) -> str:
+    """Stateless realizability query: the pre-incremental probe path."""
+    if not structural_check(spec, rows, cols):
+        return "unsat"
+    if (
+        len(top_bottom_paths(rows, cols)) > options.max_lattice_products
+        and len(left_right_paths8(rows, cols)) > options.max_lattice_products
+    ):
+        return "unknown"
+    from repro.core.janus import solve_lm
+
+    return solve_lm(spec, rows, cols, options).status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="fast", choices=("fast", "medium", "full"))
+    parser.add_argument("--limit", type=int, default=6,
+                        help="use only the first N instances (0 = all)")
+    parser.add_argument("--max-conflicts", type=int, default=30_000,
+                        help="per-probe conflict budget (deterministic; no "
+                        "wall-clock limit so counts reproduce everywhere)")
+    parser.add_argument("--min-ratio", type=float, default=1.5,
+                        help="fail unless the frontier workload shows at "
+                        "least this propagation ratio")
+    parser.add_argument("--json-out", default=None,
+                        help="write machine-readable results (BENCH_pr4.json)")
+    args = parser.parse_args(argv)
+
+    by_name = {r.name: r for r in PAPER_TABLE2}
+    names = sorted(
+        profile_names(args.profile),
+        key=lambda n: (by_name[n].cpu_janus, by_name[n].num_inputs, n),
+    )
+    if args.limit:
+        names = names[: args.limit]
+    options = JanusOptions(max_conflicts=args.max_conflicts)
+    report = {"options": {"profile": args.profile, "limit": args.limit,
+                          "max_conflicts": args.max_conflicts},
+              "instances": [], "frontier": [], "synthesis": {}}
+    failures = 0
+
+    # ---------------------------------------------------- end-to-end runs
+    print(f"== end-to-end synthesis ({len(names)} instances, byte-identity "
+          "asserted per instance)")
+    tot_cold_p = tot_inc_p = 0
+    tot_cold_t = tot_inc_t = 0.0
+    for name in names:
+        spec = build_instance(name)
+        with _PropagationMeter() as meter:
+            t0 = time.monotonic()
+            cold = synthesize(spec, name=name, options=options,
+                              prober=SERIAL_PROBER)
+            cold_t = time.monotonic() - t0
+            cold_p = meter.propagations
+        prober = IncrementalProber()
+        with _PropagationMeter() as meter:
+            t0 = time.monotonic()
+            warm = synthesize(spec, name=name, options=options, prober=prober)
+            inc_t = time.monotonic() - t0
+            inc_p = meter.propagations
+        ok = _identical(cold, warm)
+        if not ok:
+            failures += 1
+            print(f"MISMATCH {name}: cold {cold.shape}/{cold.size} vs "
+                  f"incremental {warm.shape}/{warm.size}")
+        tot_cold_p += cold_p
+        tot_inc_p += inc_p
+        tot_cold_t += cold_t
+        tot_inc_t += inc_t
+        ratio = cold_p / inc_p if inc_p else float("inf")
+        print(f"{name:>12}: cold {cold_p:9d} props/{cold_t:6.1f}s | "
+              f"incremental {inc_p:9d} props/{inc_t:6.1f}s | {ratio:5.2f}x | "
+              f"identical={ok}")
+        report["instances"].append({
+            "name": name, "identical": ok,
+            "cold": {"propagations": cold_p, "wall": cold_t},
+            "incremental": {"propagations": inc_p, "wall": inc_t,
+                            "reuse": prober.stats.__dict__.copy()},
+        })
+    e2e_ratio = tot_cold_p / tot_inc_p if tot_inc_p else float("inf")
+    e2e_speedup = tot_cold_t / tot_inc_t if tot_inc_t else float("inf")
+    print(f"{'total':>12}: cold {tot_cold_p} props/{tot_cold_t:.1f}s | "
+          f"incremental {tot_inc_p} props/{tot_inc_t:.1f}s | "
+          f"{e2e_ratio:.2f}x props, {e2e_speedup:.2f}x wall")
+    report["synthesis"] = {
+        "cold_propagations": tot_cold_p, "incremental_propagations": tot_inc_p,
+        "propagation_ratio": e2e_ratio, "wall_speedup": e2e_speedup,
+    }
+
+    # ------------------------------------------------- frontier workload
+    print("\n== realizability frontier (binary-searched minimal width per "
+          "row count; frontiers asserted identical)")
+    f_cold_p = f_inc_p = 0
+    f_cold_t = f_inc_t = 0.0
+    for name in names:
+        spec = build_instance(name)
+        base = synthesize(spec, name=name, options=options)
+        rmax = min(base.rows + 2, 6)
+        cmax = min(max(base.cols + 2, 4), 8)
+        with _PropagationMeter() as meter:
+            t0 = time.monotonic()
+            cold_frontier = _frontier(spec, options, _cold_decide, rmax, cmax)
+            cold_t = time.monotonic() - t0
+            cold_p = meter.propagations
+        prober = IncrementalProber()
+
+        def inc_decide(spec, rows, cols, options):
+            return prober.decide(spec, rows, cols, options)
+
+        with _PropagationMeter() as meter:
+            t0 = time.monotonic()
+            inc_frontier = _frontier(spec, options, inc_decide, rmax, cmax)
+            inc_t = time.monotonic() - t0
+            inc_p = meter.propagations
+        ok = cold_frontier == inc_frontier
+        if not ok:
+            failures += 1
+            print(f"MISMATCH {name}: frontier {cold_frontier} vs {inc_frontier}")
+        f_cold_p += cold_p
+        f_inc_p += inc_p
+        f_cold_t += cold_t
+        f_inc_t += inc_t
+        ratio = cold_p / inc_p if inc_p else float("inf")
+        print(f"{name:>12}: cold {cold_p:9d} props/{cold_t:6.1f}s | "
+              f"incremental {inc_p:9d} props/{inc_t:6.1f}s | {ratio:5.2f}x | "
+              f"identical={ok}")
+        report["frontier"].append({
+            "name": name, "identical": ok, "rmax": rmax, "cmax": cmax,
+            "cold": {"propagations": cold_p, "wall": cold_t},
+            "incremental": {"propagations": inc_p, "wall": inc_t},
+        })
+    ratio = f_cold_p / f_inc_p if f_inc_p else float("inf")
+    speedup = f_cold_t / f_inc_t if f_inc_t else float("inf")
+    print(f"{'total':>12}: cold {f_cold_p} props/{f_cold_t:.1f}s | "
+          f"incremental {f_inc_p} props/{f_inc_t:.1f}s | "
+          f"{ratio:.2f}x props, {speedup:.2f}x wall")
+    report["frontier_totals"] = {
+        "cold_propagations": f_cold_p, "incremental_propagations": f_inc_p,
+        "propagation_ratio": ratio, "wall_speedup": speedup,
+        "min_ratio": args.min_ratio,
+    }
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json_out}")
+
+    if ratio < args.min_ratio:
+        print(f"\nFAILED: frontier propagation ratio {ratio:.2f}x is below "
+              f"the {args.min_ratio}x target")
+        failures += 1
+    if failures:
+        print(f"\nFAILED: {failures} check failure(s)")
+        return 1
+    print(f"\nOK: byte-identical everywhere; frontier probing {ratio:.2f}x "
+          f"fewer propagations ({speedup:.2f}x wall), end-to-end "
+          f"{e2e_ratio:.2f}x fewer propagations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,12 +73,14 @@ class Session:
         memory: Optional[int] = None,
         events: Optional[Callable[[EngineEvent], None]] = None,
         registry: Optional[BackendRegistry] = None,
+        npn: bool = False,
     ) -> None:
         self.jobs = default_jobs() if jobs == 0 else max(1, int(jobs))
         self.cache = str(cache) if cache is not None else None
         self.portfolio = portfolio
         self.speculate = speculate
         self.memory = memory
+        self.npn = npn
         self.registry = registry if registry is not None else REGISTRY
         self._callbacks: list[Callable[[EngineEvent], None]] = (
             [events] if events is not None else []
@@ -119,6 +121,7 @@ class Session:
             portfolio=portfolio,
             speculate=self.speculate,
             memory=self.memory,
+            npn=self.npn,
         )
         for callback in self._callbacks:
             engine.events.subscribe(callback)

@@ -305,6 +305,7 @@ def run_table2_instance(
     options: Optional[JanusOptions] = None,
     cache: Union[str, Path, None] = None,
     portfolio: bool = False,
+    npn: bool = False,
 ) -> Table2Row:
     prober = None
     if cache is not None or portfolio:
@@ -316,7 +317,8 @@ def run_table2_instance(
         # needs two workers of its own to race the eager and lazy
         # backends per probe.
         prober = ParallelEngine(
-            jobs=2 if portfolio else 1, cache=cache, portfolio=portfolio
+            jobs=2 if portfolio else 1, cache=cache, portfolio=portfolio,
+            npn=npn,
         )
     spec = build_instance(name)
     try:
@@ -340,9 +342,9 @@ def run_table2_instance(
 
 def _instance_task(args: tuple) -> Table2Row:
     """Module-level shard task (must be picklable for the pool)."""
-    name, algorithms, options, cache, portfolio = args
+    name, algorithms, options, cache, portfolio, npn = args
     return run_table2_instance(
-        name, algorithms, options, cache=cache, portfolio=portfolio
+        name, algorithms, options, cache=cache, portfolio=portfolio, npn=npn
     )
 
 
@@ -354,6 +356,7 @@ def run_table2(
     jobs: int = 1,
     cache: Union[str, Path, None] = None,
     portfolio: bool = False,
+    npn: bool = False,
 ) -> list[Table2Row]:
     """Run Table II instances, optionally sharded across ``jobs`` workers.
 
@@ -363,7 +366,8 @@ def run_table2(
     names = list(names) if names is not None else profile_names()
     cache = str(cache) if cache is not None else None
     tasks = [
-        (name, tuple(algorithms), options, cache, portfolio) for name in names
+        (name, tuple(algorithms), options, cache, portfolio, npn)
+        for name in names
     ]
     rows: list[Table2Row] = []
     if jobs > 1:

@@ -125,6 +125,7 @@ def table2(
     jobs: int = 1,
     cache=None,
     portfolio: bool = False,
+    npn: bool = False,
 ) -> tuple[list[Table2Row], str]:
     """Run the Table II comparison for a profile; returns (rows, report)."""
     options = default_options(profile)
@@ -137,6 +138,7 @@ def table2(
         jobs=jobs,
         cache=cache,
         portfolio=portfolio,
+        npn=npn,
     )
     report = format_table2(rows)
     summary = _table2_summary(rows)

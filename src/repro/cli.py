@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the SynthesisResponse JSON wire form instead of text",
     )
+    p_synth.add_argument(
+        "--npn-dedup",
+        action="store_true",
+        help="share whole-result cache entries across NP-equivalent "
+        "functions (input permutation/negation classes; needs --cache)",
+    )
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I (product counts)")
     p_t1.add_argument("--max", type=int, default=8, help="largest m and n")
@@ -131,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the BatchResponse JSON wire form instead of the table",
+    )
+    p_t2.add_argument(
+        "--npn-dedup",
+        action="store_true",
+        help="share whole-result cache entries across NP-equivalent "
+        "instances (needs --cache)",
     )
 
     p_t3 = sub.add_parser("table3", help="run the Table III comparison")
@@ -208,7 +220,14 @@ def _engine_summary(stats: dict, jobs) -> str:
         f"cache hits/misses={stats['cache_hits']}/{stats['cache_misses']} "
         f"memory hits={stats['memory_hits']} "
         f"suite hits/misses={stats['suite_hits']}/{stats['suite_misses']} "
-        f"speculated={stats['speculated']}"
+        f"speculated={stats['speculated']}\n"
+        f"solver    : propagations={stats.get('propagations', 0)} "
+        f"conflicts={stats.get('conflicts', 0)} "
+        f"restarts={stats.get('solver_restarts', 0)} "
+        f"reuse hits={stats.get('reuse_hits', 0)} "
+        f"pruned shapes={stats.get('pruned_shapes', 0)} "
+        f"restarts avoided={stats.get('restarts_avoided', 0)} "
+        f"npn hits={stats.get('npn_hits', 0)}"
     )
 
 
@@ -233,6 +252,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=args.cache,
         portfolio=args.portfolio,
+        npn=args.npn_dedup,
     ) as session:
         response = session.synthesize(
             spec, backend=args.backend, options=options
@@ -296,6 +316,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         jobs=jobs,
         cache=args.cache,
         portfolio=args.portfolio,
+        npn=args.npn_dedup,
     )
     elapsed = time.monotonic() - start
     snapshots = [r.engine for r in rows if r.engine]
@@ -328,13 +349,9 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         return 0
     print(report)
     if total is not None:
-        print(
-            f"engine    : solver_calls={total.solver_calls} "
-            f"bound_calls={total.bound_calls} "
-            f"cache hits/misses={total.cache_hits}/{total.cache_misses} "
-            f"suite hits/misses={total.suite_hits}/{total.suite_misses} "
-            f"speculated={total.speculated}"
-        )
+        import dataclasses
+
+        print(_engine_summary(dataclasses.asdict(total), jobs))
     return 0
 
 

@@ -58,6 +58,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.bounds import best_upper_bound, combine_bounds
 from repro.core.janus import (
+    IncrementalProber,
     JanusOptions,
     LmAttempt,
     LmOutcome,
@@ -65,7 +66,6 @@ from repro.core.janus import (
     SynthesisResult,
     candidate_shapes,
     make_spec,
-    solve_lm,
 )
 from repro.core.janus import synthesize as _synthesize
 from repro.core.target import TargetSpec
@@ -81,12 +81,13 @@ from repro.engine.events import (
     SynthesisStarted,
 )
 from repro.engine.memcache import DEFAULT_MEMORY_ENTRIES, LruCache
-from repro.engine.signature import lm_cache_key
+from repro.engine.signature import InputTransform, lm_cache_key, npn_alias_key
 from repro.engine.suite import (
     suite_cache_key,
     synthesis_from_payload,
     synthesis_payload,
 )
+from repro.engine.wire import spec_snapshot
 from repro.engine.worker import (
     LmRequest,
     bound_from_payload,
@@ -145,6 +146,15 @@ class EngineStats:
     speculative_waste: int = 0  # prefetched probes the search never needed
     memory_hits: int = 0  # cache hits served by the in-process LRU layer
     memory_misses: int = 0  # LRU lookups that fell through to disk
+    # --- solver-level reuse counters (incremental probe protocol) ---
+    propagations: int = 0  # aggregate SAT propagations over computed probes
+    solver_restarts: int = 0  # solver restarts performed by computed probes
+    reuse_hits: int = 0  # probes answered by a live per-instance solver
+    pruned_shapes: int = 0  # probes answered by shape-domination pruning
+    restarts_avoided: int = 0  # restarts a cold re-solve of a cache hit
+    # would have repeated (the hit's recorded restart count)
+    speculated_deep: int = 0  # grandchild-midpoint prefetches (depth 2)
+    npn_hits: int = 0  # suite results served via NPN-class aliasing
 
     def merge(self, other: dict) -> None:
         """Fold a stats snapshot (``dataclasses.asdict`` form) into self."""
@@ -174,9 +184,11 @@ class ParallelEngine(SerialProber):
         cache: Union[ResultCache, str, Path, None] = None,
         portfolio: bool = False,
         speculate: bool = True,
+        speculate_depth: int = 2,
         suite: bool = True,
         memory: Optional[int] = None,
         events: Optional[Callable[[EngineEvent], None]] = None,
+        npn: bool = False,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -184,8 +196,14 @@ class ParallelEngine(SerialProber):
         self.cache = cache
         self.portfolio = portfolio
         self.speculate = speculate
+        self.speculate_depth = max(1, int(speculate_depth))
         self.suite = suite
+        self.npn = npn
         self.stats = EngineStats()
+        # Local probes (no pool, or the fit_columns seam) run on an
+        # in-process incremental prober: one live solver per instance,
+        # byte-identical answers (see IncrementalProber).
+        self._local = IncrementalProber()
         # In-memory LRU above the on-disk cache: hot intra-run repeats
         # skip the file open + JSON parse.  ``memory`` is an entry count
         # (0 disables); without a disk cache there is nothing to layer
@@ -284,7 +302,11 @@ class ParallelEngine(SerialProber):
             self.stats.cache_misses += 1
             return None
         self.stats.cache_hits += 1
-        return outcome_from_payload(payload, spec, cached=True)
+        outcome = outcome_from_payload(payload, spec, cached=True)
+        # A cold re-solve of this probe would have repeated the recorded
+        # restart schedule; the hit skips it.
+        self.stats.restarts_avoided += outcome.attempt.restarts
+        return outcome
 
     def _cache_put(
         self, key: str, payload: dict, options: JanusOptions
@@ -320,7 +342,14 @@ class ParallelEngine(SerialProber):
     # ---------------------------------------------------------------- probes
     def _record(self, outcome: LmOutcome) -> LmOutcome:
         self.stats.solver_calls += 1
-        self.stats.conflicts += outcome.attempt.conflicts
+        attempt = outcome.attempt
+        self.stats.conflicts += attempt.conflicts
+        self.stats.propagations += attempt.propagations
+        self.stats.solver_restarts += attempt.restarts
+        if attempt.reused:
+            self.stats.reuse_hits += 1
+        if attempt.pruned:
+            self.stats.pruned_shapes += 1
         return outcome
 
     def solve(
@@ -346,7 +375,7 @@ class ParallelEngine(SerialProber):
         if race and self._pool is not None:
             outcome = self._solve_portfolio(spec, rows, cols, options)
         else:
-            outcome = solve_lm(spec, rows, cols, options)
+            outcome = self._local.solve(spec, rows, cols, options)
         self._record(outcome)
         self._cache_put(key, outcome_payload(outcome, spec), options)
         self._probe_finished(spec, outcome)
@@ -423,23 +452,41 @@ class ParallelEngine(SerialProber):
         exclude: set,
     ) -> None:
         """Prefetch the candidate shapes of the step ``(lower, upper)``
-        would produce, skipping anything cached, in flight or excluded."""
+        would produce, skipping anything cached, in flight or excluded.
+
+        With ``speculate_depth > 1`` and idle workers left over, the
+        UNSAT-branch *grandchild* midpoints are prefetched too: of a
+        step's two successors only the UNSAT one (``lb = mp + 1``, same
+        ``ub``) is computable before any outcome arrives, so the chain
+        ``mp, mp', mp'', ...`` of successive UNSAT branches is the only
+        speculation available ahead of time — the SAT branch's midpoint
+        depends on the found lattice's size and is speculated by the
+        next call once the winner is known.
+        """
         pool = self._pool
-        if pool is None or lower >= upper:
+        if pool is None:
             return
-        mp = (lower + upper) // 2
-        for rows, cols in candidate_shapes(mp, lower):
-            key = lm_cache_key(spec, rows, cols, options)
-            if key in exclude or key in self._prefetched:
-                continue
-            if self.cache is not None and key in self.cache:
-                continue
-            self._prefetched[key] = pool.submit(
-                run_lm_request, LmRequest(spec, rows, cols, options)
-            )
-            self.stats.dispatched += 1
-            self.stats.speculated += 1
-            self._probe_started(spec, rows, cols, speculative=True)
+        depth = 0
+        while lower < upper and depth < self.speculate_depth:
+            if depth > 0 and len(self._prefetched) >= self.jobs:
+                break  # deeper midpoints only ever fill *idle* workers
+            mp = (lower + upper) // 2
+            for rows, cols in candidate_shapes(mp, lower):
+                key = lm_cache_key(spec, rows, cols, options)
+                if key in exclude or key in self._prefetched:
+                    continue
+                if self.cache is not None and key in self.cache:
+                    continue
+                self._prefetched[key] = pool.submit(
+                    run_lm_request, LmRequest(spec, rows, cols, options)
+                )
+                self.stats.dispatched += 1
+                self.stats.speculated += 1
+                if depth > 0:
+                    self.stats.speculated_deep += 1
+                self._probe_started(spec, rows, cols, speculative=True)
+            lower = mp + 1
+            depth += 1
 
     def first_sat(
         self,
@@ -515,7 +562,7 @@ class ParallelEngine(SerialProber):
                     outcome = outcome_from_payload(fut.result(), spec)
                 else:  # no pool: solve locally, in order
                     self._probe_started(spec, rows, cols)
-                    outcome = solve_lm(spec, rows, cols, options)
+                    outcome = self._local.solve(spec, rows, cols, options)
                 self._record(outcome)
                 self._cache_put(
                     keys[i], outcome_payload(outcome, spec), options
@@ -618,6 +665,13 @@ class ParallelEngine(SerialProber):
                     result.wall_time = time.monotonic() - start
                     self._synthesis_finished(spec, result, from_cache=True)
                     return result
+            # The n!*2^n canonicalization is computed once and shared by
+            # the lookup below and the store after the solve.
+            alias = self._npn_alias(spec, options)
+            result = self._npn_lookup(spec, alias, key, start)
+            if result is not None:
+                self._synthesis_finished(spec, result, from_cache=True)
+                return result
             self.stats.suite_misses += 1
         result = _synthesize(spec, name=name, options=options, prober=self)
         if key is not None and self._suite_cacheable(result, options):
@@ -625,7 +679,78 @@ class ParallelEngine(SerialProber):
             self.cache.put(key, payload)
             if self.memory is not None:
                 self.memory.put(key, payload)
+            self._npn_store(alias, key)
         self._synthesis_finished(spec, result)
+        return result
+
+    # ----------------------------------------------------------- NPN aliases
+    def _npn_alias(self, spec: TargetSpec, options: JanusOptions):
+        if not self.npn or self.cache is None:
+            return None
+        return npn_alias_key(spec, options, mode=self._mode)
+
+    def _npn_store(self, alias, exact_key: str) -> None:
+        """Publish this spec's suite entry under its NP-class alias so an
+        equivalent function (same class, different input labels or
+        polarities) can share it."""
+        if alias is None:
+            return
+        alias_key, transform = alias
+        self.cache.put(alias_key, {
+            "kind": "npn-alias",
+            "exact_key": exact_key,
+            "perm": list(transform.perm),
+            "mask": transform.mask,
+        })
+
+    def _npn_lookup(
+        self, spec: TargetSpec, alias, exact_key: str, start: float
+    ) -> Optional[SynthesisResult]:
+        """Serve a whole result from an NP-equivalent donor's suite entry.
+
+        The donor's lattice is relabeled through the composite transform
+        (donor -> canonical -> this spec) and the rebuilt assignment is
+        re-verified against this spec before it is trusted — a failed
+        verification degrades to a plain miss.  A verified hit is
+        republished under this spec's own exact suite key, so repeats
+        skip the pointer chase and re-verification entirely.
+        """
+        if alias is None:
+            return None
+        alias_key, to_canonical = alias
+        pointer = self._payload_get(alias_key, spec.name, emit=False)
+        hit = pointer is not None and pointer.get("kind") == "npn-alias"
+        if self.events:
+            self.events.emit(CacheEvent(spec.name, "npn", hit, alias_key))
+        if not hit:
+            return None
+        donor_payload = self._payload_get(
+            pointer["exact_key"], spec.name, emit=False
+        )
+        if donor_payload is None or donor_payload.get("assignment") is None:
+            return None
+        donor_to_canonical = InputTransform(
+            tuple(pointer["perm"]), pointer["mask"]
+        )
+        composite = to_canonical.inverse().compose(donor_to_canonical)
+        payload = dict(donor_payload)
+        payload["assignment"] = dict(donor_payload["assignment"])
+        payload["assignment"]["entries"] = [
+            list(composite.apply_entry(var, positive))
+            for var, positive in donor_payload["assignment"]["entries"]
+        ]
+        result = synthesis_from_payload(payload, spec)
+        if result is None or not spec.accepts(
+            result.assignment.realized_truthtable()
+        ):
+            return None
+        self.stats.suite_hits += 1
+        self.stats.npn_hits += 1
+        payload["spec"] = spec_snapshot(spec)
+        self.cache.put(exact_key, payload)
+        if self.memory is not None:
+            self.memory.put(exact_key, payload)
+        result.wall_time = time.monotonic() - start
         return result
 
     def _synthesis_finished(

@@ -33,9 +33,16 @@ __all__ = [
     "spec_fingerprint",
     "options_fingerprint",
     "lm_cache_key",
+    "InputTransform",
+    "npn_canonical",
+    "npn_alias_key",
 ]
 
 _KEY_VERSION = 1  # bump when the encoding or solver behavior changes
+
+# Exact canonicalization enumerates n! * 2^n input transforms; beyond
+# this input count the enumeration costs more than a cache miss.
+NPN_MAX_INPUTS = 6
 
 
 def spec_fingerprint(spec: TargetSpec) -> dict:
@@ -83,3 +90,147 @@ def lm_cache_key(
 def describe_key(key: str) -> Optional[str]:
     """Short display form of a cache key (for logs and CLI output)."""
     return key[:12] if key else None
+
+
+# ------------------------------------------------------ NPN-class aliasing
+class InputTransform:
+    """An input permutation plus per-input polarity flips.
+
+    Acting on a function: ``(t . f)(y) = f(x)`` with
+    ``x[i] = y[perm[i]] ^ bit(mask, i)`` — variable ``i`` of the original
+    becomes variable ``perm[i]`` of the transformed function, negated
+    when mask bit ``i`` is set.  Acting on a lattice assignment: the
+    literal entry ``(i, pos)`` becomes ``(perm[i], pos ^ bit(mask, i))``
+    and constants are untouched, which is exactly why this class of
+    transforms (and not output complementation, whose effect on a
+    lattice is the nontrivial duality theorem) is used for cache
+    aliasing: an assignment realizing ``f`` converts to one realizing
+    ``t . f`` by relabeling cells.
+    """
+
+    __slots__ = ("perm", "mask")
+
+    def __init__(self, perm: tuple[int, ...], mask: int) -> None:
+        self.perm = tuple(perm)
+        self.mask = mask
+
+    def __repr__(self) -> str:
+        return f"InputTransform(perm={self.perm}, mask={self.mask:#x})"
+
+    def apply_tt(self, tt):
+        """Transform a :class:`~repro.boolf.truthtable.TruthTable`."""
+        import numpy as np
+
+        from repro.boolf.truthtable import TruthTable
+
+        n = len(self.perm)
+        y = np.arange(1 << n)
+        x = np.zeros_like(y)
+        for i, p in enumerate(self.perm):
+            x |= ((y >> p) & 1) << i
+        x ^= self.mask
+        return TruthTable(tt.values[x], n)
+
+    def apply_entry(self, var: Optional[int], positive: bool):
+        """Transform one ``(var, positive)`` assignment entry."""
+        if var is None:
+            return None, positive
+        return self.perm[var], positive ^ bool((self.mask >> var) & 1)
+
+    def inverse(self) -> "InputTransform":
+        n = len(self.perm)
+        inv = [0] * n
+        for i, p in enumerate(self.perm):
+            inv[p] = i
+        mask = 0
+        for j in range(n):
+            if (self.mask >> inv[j]) & 1:
+                mask |= 1 << j
+        return InputTransform(tuple(inv), mask)
+
+    def compose(self, other: "InputTransform") -> "InputTransform":
+        """``self . other``: apply ``other`` first, then ``self``.
+
+        On entries: ``(self . other).apply_entry == self.apply_entry
+        after other.apply_entry``.
+        """
+        perm = tuple(self.perm[p] for p in other.perm)
+        mask = other.mask
+        for i in range(len(perm)):
+            if (self.mask >> other.perm[i]) & 1:
+                mask ^= 1 << i
+        return InputTransform(perm, mask)
+
+
+def npn_canonical(spec: TargetSpec) -> Optional[tuple[dict, InputTransform]]:
+    """Canonical representative of the spec's NP class, with the
+    transform reaching it.
+
+    Exhausts every input permutation and polarity pattern (``n! * 2^n``
+    candidates, gated to ``n <= NPN_MAX_INPUTS``) and picks the
+    lexicographically smallest ``(onset bits, don't-care bits)``
+    rendering.  Returns ``(canonical fingerprint dict, t)`` with
+    ``t . spec == canonical``, or ``None`` for inputs too wide to
+    canonicalize.  Output complementation is deliberately excluded (see
+    :class:`InputTransform`), so this is the NP subgroup of the NPN
+    classification: equivalent benchmark functions that differ only by
+    input renaming/negation share one canonical form.
+    """
+    import itertools
+
+    import numpy as np
+
+    n = spec.num_inputs
+    if n > NPN_MAX_INPUTS:
+        return None
+    tt_vals = spec.tt.values
+    dc_vals = spec.dc.values if spec.dc is not None else None
+    y = np.arange(1 << n)
+    best: Optional[tuple] = None
+    best_t: Optional[InputTransform] = None
+    for perm in itertools.permutations(range(n)):
+        x_perm = np.zeros_like(y)
+        for i, p in enumerate(perm):
+            x_perm |= ((y >> p) & 1) << i
+        for mask in range(1 << n):
+            x = x_perm ^ mask
+            key = (
+                np.packbits(tt_vals[x], bitorder="little").tobytes(),
+                np.packbits(dc_vals[x], bitorder="little").tobytes()
+                if dc_vals is not None
+                else b"",
+                perm,
+                mask,
+            )
+            if best is None or key < best:
+                best = key
+                best_t = InputTransform(perm, mask)
+    assert best is not None and best_t is not None
+    fingerprint = {
+        "num_vars": n,
+        "tt": best[0].hex(),
+        "dc": best[1].hex() if best[1] else None,
+    }
+    return fingerprint, best_t
+
+
+def npn_alias_key(
+    spec: TargetSpec,
+    options: JanusOptions,
+    mode: str = "eager",
+) -> Optional[tuple[str, InputTransform]]:
+    """(alias cache key, transform-to-canonical) for suite-entry sharing
+    across NP-equivalent specs, or ``None`` when not canonicalizable."""
+    canonical = npn_canonical(spec)
+    if canonical is None:
+        return None
+    fingerprint, transform = canonical
+    payload = {
+        "v": _KEY_VERSION,
+        "kind": "npn-alias",
+        "mode": mode,
+        "spec": fingerprint,
+        "options": options_fingerprint(options),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest(), transform

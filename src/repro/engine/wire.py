@@ -81,10 +81,16 @@ def attempt_to_wire(attempt: LmAttempt) -> dict:
         "complexity": attempt.complexity,
         "conflicts": attempt.conflicts,
         "wall_time": attempt.wall_time,
+        "propagations": attempt.propagations,
+        "restarts": attempt.restarts,
+        "reused": attempt.reused,
+        "pruned": attempt.pruned,
     }
 
 
 def attempt_from_wire(payload: dict, cached: bool = False) -> LmAttempt:
+    # The solver-reuse fields were added in schema revision 4; entries
+    # written by older code simply lack them, so they default off.
     return LmAttempt(
         rows=payload["rows"],
         cols=payload["cols"],
@@ -94,6 +100,10 @@ def attempt_from_wire(payload: dict, cached: bool = False) -> LmAttempt:
         conflicts=payload["conflicts"],
         wall_time=payload["wall_time"],
         cached=cached,
+        propagations=payload.get("propagations", 0),
+        restarts=payload.get("restarts", 0),
+        reused=payload.get("reused", False),
+        pruned=payload.get("pruned", False),
     )
 
 

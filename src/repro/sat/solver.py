@@ -37,6 +37,10 @@ __all__ = [
 
 _UNASSIGNED = -1
 
+# Sentinel distinguishing "budget not given" from an explicit None (no
+# budget) in per-call overrides.
+_KEEP = object()
+
 
 @dataclass
 class SolverStats:
@@ -233,10 +237,26 @@ class CdclSolver:
         self._attach(out, learnt=False)
         return True
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
-        """Search for a model; honour conflict/time budgets."""
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts=_KEEP,
+        max_time=_KEEP,
+    ) -> SolveResult:
+        """Search for a model; honour conflict/time budgets.
+
+        ``max_conflicts`` / ``max_time`` override the constructor budgets
+        for this call only (pass ``None`` to lift a budget).  Budgets are
+        per call: a reused solver gets a fresh conflict allowance on
+        every ``solve``, which is what lets the incremental prober give
+        each probe the same deterministic budget the one-shot path has.
+        """
         start = time.monotonic()
-        result = self._solve(assumptions, start)
+        limit_conflicts = (
+            self.max_conflicts if max_conflicts is _KEEP else max_conflicts
+        )
+        limit_time = self.max_time if max_time is _KEEP else max_time
+        result = self._solve(assumptions, start, limit_conflicts, limit_time)
         result.wall_time = time.monotonic() - start
         return result
 
@@ -281,7 +301,15 @@ class CdclSolver:
         return lits
 
     def _propagate(self) -> Optional[list[int]]:
-        """Two-watched-literal BCP; returns a conflicting clause or None."""
+        """Two-watched-literal BCP; returns a conflicting clause or None.
+
+        This loop dominates every probe, so everything loop-invariant is
+        hoisted into locals: the watch/implication tables, the assignment
+        arrays (flat int lists — faster to index in CPython than
+        ``array`` objects), the decision level (constant for the whole
+        call: propagation never opens a level), the queue head and the
+        propagation counter (folded back into ``stats`` on exit).
+        """
         watches = self._watches
         bins = self._bins
         assign = self._assign
@@ -289,10 +317,13 @@ class CdclSolver:
         reason = self._reason
         trail = self._trail
         unassigned = _UNASSIGNED
-        while self._qhead < len(trail):
-            lit = trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
+        cur_level = len(self._trail_lim)
+        qhead = self._qhead
+        propagated = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            propagated += 1
             falsified = lit ^ 1
             # Binary implications first: falsified forces the other literal.
             for clause in bins[falsified]:
@@ -304,11 +335,12 @@ class CdclSolver:
                 v = assign[var]
                 if v == unassigned:
                     assign[var] = 1 ^ (other & 1)
-                    level[var] = len(self._trail_lim)
+                    level[var] = cur_level
                     reason[var] = clause
                     trail.append(other)
                 elif (v ^ (other & 1)) == 0:
                     self._qhead = len(trail)
+                    self.stats.propagations += propagated
                     return clause
             watch_list = watches[falsified]
             i = 0
@@ -322,7 +354,7 @@ class CdclSolver:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
                 v0 = assign[first >> 1]
-                if v0 != _UNASSIGNED and (v0 ^ (first & 1)) == 1:
+                if v0 != unassigned and (v0 ^ (first & 1)) == 1:
                     watch_list[j] = clause
                     j += 1
                     continue
@@ -333,7 +365,7 @@ class CdclSolver:
                 for k in range(2, len(clause)):
                     other = clause[k]
                     vo = assign[other >> 1]
-                    if vo == _UNASSIGNED or (vo ^ (other & 1)) == 1:
+                    if vo == unassigned or (vo ^ (other & 1)) == 1:
                         clause[1], clause[k] = clause[k], clause[1]
                         watches[other].append(clause)
                         moved = True
@@ -343,7 +375,7 @@ class CdclSolver:
                 # Clause is unit or conflicting.
                 watch_list[j] = clause
                 j += 1
-                if v0 != _UNASSIGNED:  # first is false: conflict
+                if v0 != unassigned:  # first is false: conflict
                     # Keep remaining watches in place.
                     while i < n:
                         watch_list[j] = watch_list[i]
@@ -351,13 +383,16 @@ class CdclSolver:
                         i += 1
                     del watch_list[j:]
                     self._qhead = len(trail)
+                    self.stats.propagations += propagated
                     return clause
                 var = first >> 1
                 assign[var] = 1 ^ (first & 1)
-                self._level[var] = len(self._trail_lim)
-                self._reason[var] = clause
+                level[var] = cur_level
+                reason[var] = clause
                 trail.append(first)
             del watch_list[j:]
+        self._qhead = qhead
+        self.stats.propagations += propagated
         return None
 
     def _decision_level(self) -> int:
@@ -598,7 +633,13 @@ class CdclSolver:
         seen[lit >> 1] = 0
         return sorted(core, key=abs)
 
-    def _solve(self, assumptions: Sequence[int], start: float) -> SolveResult:
+    def _solve(
+        self,
+        assumptions: Sequence[int],
+        start: float,
+        max_conflicts: Optional[int],
+        max_time: Optional[float],
+    ) -> SolveResult:
         if not self.ok:
             return SolveResult("unsat", stats=self.stats, core=[])
         self._ensure_vars(assumptions)
@@ -640,14 +681,14 @@ class CdclSolver:
                 self._cla_inc /= self._cla_decay
 
                 if (
-                    self.max_conflicts is not None
-                    and self.stats.conflicts - conflicts_start >= self.max_conflicts
+                    max_conflicts is not None
+                    and self.stats.conflicts - conflicts_start >= max_conflicts
                 ):
                     self._backtrack(0)
                     return SolveResult("unknown", stats=self.stats)
-                if self.max_time is not None and (
+                if max_time is not None and (
                     time.monotonic() - start
-                ) > self.max_time:
+                ) > max_time:
                     self._backtrack(0)
                     return SolveResult("unknown", stats=self.stats)
                 if conflicts_since_restart >= restart_limit:

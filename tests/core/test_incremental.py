@@ -1,0 +1,225 @@
+"""Incremental probe engine: byte-identity against the one-shot path.
+
+The correctness contract of :class:`repro.core.janus.IncrementalProber`
+is that :func:`synthesize` returns the *same lattice* (entries, shape,
+size, bounds) with it as with the stateless serial prober, across every
+backend that routes probes through a prober seam: the serial path, the
+in-process engine, and the pooled engine.  On top of that sit unit tests
+for the individual reuse mechanisms: family-probe equisatisfiability,
+domination pruning, memoization, assumption-core widening and the
+monotone floors of the status-only ``decide`` query.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolf.truthtable import TruthTable
+from repro.core.encoder import EncodeOptions, encode_lm, shape_family
+from repro.core.janus import (
+    IncrementalProber,
+    JanusOptions,
+    SERIAL_PROBER,
+    synthesize,
+)
+from repro.core.target import TargetSpec
+from repro.sat.solver import CdclSolver, solve_cnf
+
+OPTS = JanusOptions(max_conflicts=10_000)
+
+
+def _random_spec(seed: int, num_vars: int) -> TargetSpec:
+    rng = np.random.default_rng(seed)
+    bits = rng.random(1 << num_vars) < 0.5
+    if not bits.any():
+        bits[0] = True
+    if bits.all():
+        bits[-1] = False
+    return TruthTable(bits, num_vars)
+
+
+def _same_result(a, b) -> bool:
+    return (
+        a.assignment.entries == b.assignment.entries
+        and a.shape == b.shape
+        and a.size == b.size
+        and a.lower_bound == b.lower_bound
+        and a.initial_upper_bound == b.initial_upper_bound
+        and a.upper_bounds == b.upper_bounds
+    )
+
+
+class TestByteIdentity:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_incremental_matches_serial_random(self, seed):
+        tt = _random_spec(seed, 3)
+        serial = synthesize(tt, options=OPTS, prober=SERIAL_PROBER)
+        warm = synthesize(tt, options=OPTS, prober=IncrementalProber())
+        assert _same_result(serial, warm)
+
+    @pytest.mark.parametrize("expr", [
+        "ab + a'b'c",
+        "abc + a'd + bd'",
+        "ab'c + bc'd + a'cd'",
+    ])
+    def test_incremental_matches_serial_exprs(self, expr):
+        serial = synthesize(expr, options=OPTS)
+        warm = synthesize(expr, options=OPTS, prober=IncrementalProber())
+        assert _same_result(serial, warm)
+
+    def test_prober_state_survives_across_targets(self):
+        """One prober serving several functions must not cross-pollute."""
+        prober = IncrementalProber(max_instances=2)
+        exprs = ["ab + a'b'c", "abc + a'd + bd'", "ab + cd", "ab + a'b'c"]
+        for expr in exprs:
+            serial = synthesize(expr, options=OPTS)
+            warm = synthesize(expr, options=OPTS, prober=prober)
+            assert _same_result(serial, warm)
+
+    def test_engine_backends_match_serial(self, tmp_path):
+        """All prober-seam backends answer byte-identically: in-process
+        engine, cached engine, pooled engine."""
+        from repro.engine import ParallelEngine
+
+        expr = "abc + a'd + bd'"
+        serial = synthesize(expr, options=OPTS)
+        with ParallelEngine(jobs=1) as engine:
+            assert _same_result(serial, engine.synthesize(expr, options=OPTS))
+        with ParallelEngine(jobs=1, cache=tmp_path / "cache") as engine:
+            assert _same_result(serial, engine.synthesize(expr, options=OPTS))
+        with ParallelEngine(jobs=2) as engine:
+            assert _same_result(serial, engine.synthesize(expr, options=OPTS))
+
+
+class TestFamilyEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_family_probe_matches_one_shot_status(self, seed):
+        """Selector-assumption restriction is equisatisfiable with the
+        sub-shape's own encoding, for both sides, every sub-shape."""
+        tt = _random_spec(seed, 3)
+        spec = TargetSpec.from_truthtable(tt, name="fam")
+        enc_opts = EncodeOptions(degree_constraints=False)
+        for side in ("primal", "dual"):
+            enc = encode_lm(spec, 3, 3, side, enc_opts)
+            if enc.cnf is None:
+                continue
+            family = shape_family(enc)
+            assert family is not None
+            solver = CdclSolver(num_vars=enc.cnf.num_vars)
+            for clause in enc.cnf.clauses:
+                solver.add_clause(clause)
+            for clause in family.selector_clauses:
+                solver.add_clause(clause)
+            for rows in range(1, 4):
+                for cols in range(1, 4):
+                    probe = solver.solve(family.assumptions(rows, cols))
+                    one_shot = encode_lm(spec, rows, cols, side, enc_opts)
+                    if one_shot.cnf is None:
+                        assert one_shot.infeasible
+                        assert probe.is_unsat
+                        continue
+                    assert probe.status == solve_cnf(one_shot.cnf).status, (
+                        f"{side} {rows}x{cols}"
+                    )
+
+    def test_family_rejected_when_degree_clauses_present(self):
+        """Degree constraints quantify over the envelope's own paths, so
+        families refuse to form on encodings that contain them."""
+        # A function whose cover degree equals a thin lattice's degree
+        # triggers the "exact" mode: single product abc on 3x1.
+        spec = TargetSpec.from_string("abc", name="deg")
+        enc = encode_lm(spec, 3, 1, "primal", EncodeOptions())
+        if enc.degree_clauses:
+            assert shape_family(enc) is None
+        nodeg = encode_lm(
+            spec, 3, 1, "primal", EncodeOptions(degree_constraints=False)
+        )
+        assert nodeg.degree_clauses == 0
+        assert shape_family(nodeg) is not None
+
+    def test_family_rejected_when_symmetry_breaking(self):
+        spec = TargetSpec.from_string("ab + a'b'c", name="sym")
+        enc = encode_lm(
+            spec, 2, 3, "primal",
+            EncodeOptions(symmetry_breaking=True, degree_constraints=False),
+        )
+        assert enc.symmetry_clauses > 0
+        assert shape_family(enc) is None
+
+    def test_refuted_shape_widens_from_core(self):
+        spec = TargetSpec.from_string("ab + a'b'c", name="core")
+        enc = encode_lm(
+            spec, 3, 3, "primal", EncodeOptions(degree_constraints=False)
+        )
+        family = shape_family(enc)
+        assert family is not None
+        # A core containing only the level selector for index 1 refutes
+        # every shape with at most 1 level, at any lane count.
+        core = [family.level_sel[1]]
+        assert family.refuted_shape(core, 1, 2) == (1, 3)
+        # An empty core (formula unsat outright) refutes the envelope.
+        assert family.refuted_shape([], 1, 1) == (3, 3)
+        # A negative selector in the core blocks widening.
+        assert family.refuted_shape([-family.level_sel[2]], 2, 2) == (2, 2)
+
+
+class TestReuseMechanisms:
+    def test_memo_replays_repeats(self):
+        prober = IncrementalProber()
+        spec = TargetSpec.from_string("ab + a'b'c", name="memo")
+        first = prober.solve(spec, 2, 3, OPTS)
+        again = prober.solve(spec, 2, 3, OPTS)
+        assert again.status == first.status
+        assert again.attempt.reused
+        assert again.attempt.propagations == 0
+        assert prober.stats.memo_hits == 1
+        if first.status == "sat":
+            assert again.assignment.entries == first.assignment.entries
+
+    def test_domination_prunes_smaller_shapes(self):
+        prober = IncrementalProber()
+        spec = TargetSpec.from_string("ab + a'b'c + bc'", name="dom")
+        # Find some genuinely refuted shape by probing a too-small area.
+        refuted = None
+        for rows, cols in [(2, 2), (2, 3), (3, 2)]:
+            if prober.solve(spec, rows, cols, OPTS).status == "unsat":
+                refuted = (rows, cols)
+                break
+        if refuted is None:
+            pytest.skip("no small refuted shape for this target")
+        sub = (refuted[0], refuted[1] - 1)
+        if sub[1] < 1:
+            sub = (refuted[0] - 1, refuted[1])
+        before = prober.stats.pruned_shapes
+        outcome = prober.solve(spec, sub[0], sub[1], OPTS)
+        assert outcome.status == "unsat"
+        # Either the structural precheck or domination answered; if the
+        # shape got past the precheck it must have been pruned for free.
+        if outcome.attempt.pruned:
+            assert prober.stats.pruned_shapes == before + 1
+            assert outcome.attempt.propagations == 0
+
+    def test_decide_floors_and_matches_cold(self):
+        """decide() agrees with stateless statuses over a whole shape
+        grid, while answering most of it from monotone floors."""
+        from repro.core.janus import solve_lm
+
+        spec = TargetSpec.from_string("ab + a'b'c", name="grid")
+        prober = IncrementalProber()
+        grid = [(r, c) for r in range(1, 5) for c in range(1, 5)]
+        for rows, cols in grid:
+            warm = prober.decide(spec, rows, cols, OPTS)
+            cold = solve_lm(spec, rows, cols, OPTS).status
+            assert warm == cold, f"{rows}x{cols}: {warm} vs {cold}"
+        assert prober.stats.pruned_shapes > 0
+
+    def test_stats_account_for_cold_and_reused(self):
+        prober = IncrementalProber()
+        spec = TargetSpec.from_string("ab + cd", name="stats")
+        prober.solve(spec, 2, 2, OPTS)
+        prober.solve(spec, 2, 2, OPTS)
+        assert prober.stats.probes == 2
+        assert prober.stats.cold_solves >= 1
+        assert prober.stats.memo_hits == 1
