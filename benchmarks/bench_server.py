@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Warm-cache request throughput of the ``janus serve`` HTTP service.
+
+Starts an in-process :class:`repro.server.SynthesisServer` (loopback,
+ephemeral port), then measures three phases with
+:class:`repro.client.ServiceClient`:
+
+1. **overhead** — ``GET /healthz`` round-trips: the pure HTTP floor
+   (connection setup, routing, JSON envelope) with no synthesis at all;
+2. **cold** — one ``POST /v1/synthesize`` per distinct Table II target,
+   populating the suite cache;
+3. **warm** — ``--requests`` repeats of those same requests.  Every one
+   must be answered from the suite cache: the script snapshots
+   ``GET /v1/cache/stats`` around the phase and **asserts the
+   solver_calls and bound_calls deltas are zero** — the served counters,
+   not client-side guesswork — and that suite_hits grew by the request
+   count.
+
+The headline number is the warm phase: requests per second and the
+mean round-trip, which should sit within a small multiple of the
+/healthz floor (the response body is bigger) — i.e. warm synthesis is
+HTTP-overhead-bound, not SAT-bound.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+    PYTHONPATH=src python benchmarks/bench_server.py --limit 4 --requests 40
+    PYTHONPATH=src python benchmarks/bench_server.py --pool 4 --json-out s.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.api import RequestOptions, SynthesisRequest
+from repro.bench.instances import build_instance
+from repro.client import ServiceClient
+from repro.server import make_server
+
+# Small Table II instances that synthesize in well under a second each —
+# the point here is HTTP/cache behavior, not SAT heroics (heavier
+# workloads are bench_parallel.py / bench_incremental.py territory).
+DEFAULT_NAMES = "b12_03,c17_01,dc1_00,clpl_00"
+
+
+def _requests_for(names, max_conflicts: int) -> list[SynthesisRequest]:
+    options = RequestOptions(max_conflicts=max_conflicts)
+    out = []
+    for name in names:
+        spec = build_instance(name)
+        out.append(SynthesisRequest.from_target(spec, options=options))
+    return out
+
+
+def _timed(fn, n: int) -> tuple[float, list[float]]:
+    laps = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        laps.append(time.perf_counter() - t0)
+    return sum(laps), laps
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--names", default=DEFAULT_NAMES,
+                        help="comma list of Table II instances to request")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="use only the first N of --names")
+    parser.add_argument("--requests", type=int, default=30,
+                        help="warm-phase request count (round-robin)")
+    parser.add_argument("--pool", type=int, default=2,
+                        help="server session-pool size")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="engine workers per pooled session")
+    parser.add_argument("--max-conflicts", type=int, default=20_000)
+    parser.add_argument("--json-out", metavar="FILE", default=None,
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    if args.limit is not None:
+        names = names[: args.limit]
+    requests = _requests_for(names, args.max_conflicts)
+    print(f"server bench: {len(requests)} instances "
+          f"({', '.join(names)}), pool={args.pool}, jobs={args.jobs}")
+
+    with make_server(port=0, pool=args.pool, jobs=args.jobs) as server:
+        server.serve_background()
+        host, port = server.address
+        client = ServiceClient(host, port)
+
+        floor_total, _ = _timed(client.health, 20)
+        floor = floor_total / 20
+        print(f"/healthz floor     : {floor * 1e3:8.2f} ms/req")
+
+        cold_total, cold_laps = _timed(
+            lambda it=iter(requests): client.synthesize(next(it)),
+            len(requests),
+        )
+        print(f"cold synthesize    : {cold_total:8.3f} s total "
+              f"({cold_total / len(requests) * 1e3:.2f} ms/req)")
+
+        before = client.cache_stats()["engine"]
+        warm_laps: list[float] = []
+        for i in range(args.requests):
+            request = requests[i % len(requests)]
+            t0 = time.perf_counter()
+            response = client.synthesize(request)
+            warm_laps.append(time.perf_counter() - t0)
+            assert response.name == request.name
+        after = client.cache_stats()["engine"]
+
+        warm_total = sum(warm_laps)
+        rate = args.requests / warm_total if warm_total else float("inf")
+        print(f"warm synthesize    : {warm_total:8.3f} s for "
+              f"{args.requests} requests "
+              f"({warm_total / args.requests * 1e3:.2f} ms/req, "
+              f"{rate:.0f} req/s)")
+        print(f"overhead multiple  : {warm_total / args.requests / floor:8.1f}"
+              f"x the /healthz floor")
+
+        deltas = {k: after[k] - before[k] for k in after}
+        print(f"warm-phase deltas  : solver_calls={deltas['solver_calls']} "
+              f"bound_calls={deltas['bound_calls']} "
+              f"suite_hits={deltas['suite_hits']}")
+
+        failures = []
+        if deltas["solver_calls"] != 0:
+            failures.append(
+                f"warm phase ran {deltas['solver_calls']} SAT calls, want 0"
+            )
+        if deltas["bound_calls"] != 0:
+            failures.append(
+                f"warm phase recomputed {deltas['bound_calls']} bounds, want 0"
+            )
+        if deltas["suite_hits"] < args.requests:
+            failures.append(
+                f"only {deltas['suite_hits']} of {args.requests} warm "
+                "requests hit the suite cache"
+            )
+
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(
+                    {
+                        "instances": list(names),
+                        "pool": args.pool,
+                        "jobs": args.jobs,
+                        "healthz_floor_s": floor,
+                        "cold_total_s": cold_total,
+                        "cold_laps_s": cold_laps,
+                        "warm_total_s": warm_total,
+                        "warm_laps_s": warm_laps,
+                        "warm_requests": args.requests,
+                        "warm_req_per_s": rate,
+                        "warm_engine_deltas": deltas,
+                        "ok": not failures,
+                    },
+                    fh,
+                    indent=2,
+                )
+            print(f"wrote {args.json_out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: warm requests served entirely from the suite cache "
+          "(zero SAT calls, zero bound recomputations)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

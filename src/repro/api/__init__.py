@@ -1,8 +1,9 @@
 """``repro.api`` — the stable public API for lattice synthesis.
 
 This facade is the one entry point every frontend shares: the CLI, the
-benchmark runner and the examples all speak it, and the eventual HTTP
-service will expose it verbatim.  Three pieces:
+benchmark runner and the examples all speak it, and the HTTP service
+(:mod:`repro.server`, ``janus serve``) exposes it verbatim.  Three
+pieces:
 
 * **Schema** (:mod:`repro.api.schema`) — versioned, validating
   request/response dataclasses with a canonical JSON wire format:
@@ -27,6 +28,13 @@ Quickstart::
 
 One-shot helpers :func:`synthesize` and :func:`run_batch` wrap a
 throwaway session for scripts that make a single call.
+
+Progress is a structured event channel (:mod:`repro.api.events`):
+``Session(events=cb)`` / ``session.subscribe(cb)`` deliver frozen
+dataclasses per probe/bound/cache/synthesis occurrence, and
+:func:`event_to_wire` / :func:`event_from_wire` convert them to the
+JSON form the HTTP event stream serves.  The full wire format is
+documented field by field in ``docs/wire-schema.md``.
 """
 
 from repro.api.backends import (
@@ -39,6 +47,7 @@ from repro.api.backends import (
     register_backend,
 )
 from repro.api.events import (
+    EVENT_KINDS,
     BoundComputed,
     CacheEvent,
     EngineEvent,
@@ -46,6 +55,8 @@ from repro.api.events import (
     ProbeStarted,
     SynthesisFinished,
     SynthesisStarted,
+    event_from_wire,
+    event_to_wire,
 )
 from repro.api.schema import (
     API_VERSION,
@@ -68,6 +79,7 @@ __all__ = [
     "BatchResponse",
     "BoundComputed",
     "CacheEvent",
+    "EVENT_KINDS",
     "EngineEvent",
     "ProbeFinished",
     "ProbeStarted",
@@ -81,6 +93,8 @@ __all__ = [
     "UnknownBackendError",
     "ValidationError",
     "backend_names",
+    "event_from_wire",
+    "event_to_wire",
     "get_backend",
     "register_backend",
     "run_batch",

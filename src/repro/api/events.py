@@ -21,6 +21,7 @@ re-exports them as part of the stable API surface.  Subscribe with
 """
 
 from repro.engine.events import (
+    EVENT_KINDS,
     BoundComputed,
     CacheEvent,
     EngineEvent,
@@ -28,14 +29,19 @@ from repro.engine.events import (
     ProbeStarted,
     SynthesisFinished,
     SynthesisStarted,
+    event_from_wire,
+    event_to_wire,
 )
 
 __all__ = [
     "EngineEvent",
+    "EVENT_KINDS",
     "ProbeStarted",
     "ProbeFinished",
     "BoundComputed",
     "CacheEvent",
     "SynthesisStarted",
     "SynthesisFinished",
+    "event_to_wire",
+    "event_from_wire",
 ]

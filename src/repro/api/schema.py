@@ -1,7 +1,8 @@
 """Versioned request/response schema for the public synthesis API.
 
 These dataclasses are the *wire format*: every frontend (CLI, benchmark
-runner, examples, the future HTTP service) speaks exactly these shapes.
+runner, examples, the HTTP service in :mod:`repro.server`) speaks
+exactly these shapes.
 Three invariants the tests pin down:
 
 * **Validation on construction.**  A malformed request raises

@@ -155,6 +155,20 @@ class Session:
             if engine is not None:
                 engine.events.subscribe(callback)
 
+    def unsubscribe(self, callback: Callable[[EngineEvent], None]) -> None:
+        """Detach a progress-event callback from the session and every
+        engine it is wired into (no-op if it was never subscribed).
+
+        Lets a long-lived session serve short-lived listeners — the HTTP
+        service attaches one collector per batch job and detaches it when
+        the job completes.
+        """
+        if callback in self._callbacks:
+            self._callbacks.remove(callback)
+        for engine in (self._engine, self._portfolio_engine):
+            if engine is not None:
+                engine.events.unsubscribe(callback)
+
     @property
     def stats(self) -> EngineStats:
         """Merged work accounting across the session's engines."""

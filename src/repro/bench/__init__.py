@@ -1,4 +1,20 @@
-"""Benchmark suite: instances, runner, and table regenerators."""
+"""Benchmark suite: instances, runner, and table regenerators.
+
+Reproduces the paper's experimental section and doubles as the
+heavy-workload harness:
+
+* :mod:`repro.bench.instances` — the Table II/III benchmark functions
+  (MCNC PLA outputs) with :func:`build_instance` constructing specs by
+  name, plus the paper's published numbers for comparison;
+* :mod:`repro.bench.runner` — :func:`run_table2` and profiles
+  (``fast``/``medium``/``full`` budget tiers); suites shard across
+  engine workers (``jobs=N``) with per-row engine-stat snapshots;
+* :mod:`repro.bench.tables` — Table I/II/III and Fig. 4 regenerators
+  behind the ``janus table1|table2|table3|fig4`` CLI.
+
+Timing benchmarks (wall-clock measurements rather than regenerated
+tables) live in the top-level ``benchmarks/`` directory.
+"""
 
 from repro.bench.instances import (
     PAPER_TABLE2,

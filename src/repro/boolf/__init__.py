@@ -1,4 +1,18 @@
-"""Boolean-function substrate: cubes, covers, tables, minimization, I/O."""
+"""Boolean-function substrate: cubes, covers, tables, minimization, I/O.
+
+The representations everything above is built on:
+
+* :class:`TruthTable` — dense bit-vector functions (the canonical form;
+  cache keys and wire payloads serialize its packed bits);
+* :class:`Cube` / :class:`Sop` — product terms and sum-of-products
+  covers, with :func:`parse_sop` for the ``"ab + a'b'c"`` syntax the
+  CLI and API accept;
+* minimization — :func:`isop` (Minato–Morreale irredundant SOPs over
+  function intervals), :func:`minimize` / ``exact_min_sop`` (exact
+  two-level minimization), :func:`espresso` (heuristic);
+* prime implicants, GF(2) linear algebra (for autosymmetry detection),
+  and PLA file I/O (:func:`read_pla` / :func:`write_pla`).
+"""
 
 from repro.boolf.cube import Cube
 from repro.boolf.sop import Sop

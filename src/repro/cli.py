@@ -15,11 +15,12 @@ Subcommands::
     janus cache stats DIR             entries/bytes/temp files in a cache
     janus cache verify DIR            replay stored assignments vs specs
     janus cache gc DIR --max-age-days 30 --max-size-mb 512   bounded GC
+    janus serve --port 8080 --jobs 2  serve the JSON wire schema over HTTP
 
 The CLI is a thin frontend over the stable :mod:`repro.api` facade —
 every synthesis goes through a :class:`repro.api.Session`, and ``--json``
-emits exactly the ``SynthesisResponse``/``BatchResponse`` wire schema a
-future HTTP service will serve.
+emits exactly the ``SynthesisResponse``/``BatchResponse`` wire schema
+``janus serve`` serves over HTTP.
 
 ``--jobs 0`` means "one worker per *available* CPU" (cgroup/affinity
 aware).  ``--cache DIR`` persists every decisive LM probe result *and*
@@ -170,6 +171,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="gc: sweep .tmp-* files from crashed writers older than this",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the synthesis API over HTTP (the JSON wire schema)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per pooled session (0 = all CPUs)",
+    )
+    p_serve.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        help="warm sessions serving requests concurrently",
+    )
+    p_serve.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="shared result cache directory (default: a private temp dir "
+        "owned by the server)",
+    )
+    p_serve.add_argument(
+        "--npn-dedup",
+        action="store_true",
+        help="share whole-result cache entries across NP-equivalent targets",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log one line per request"
     )
 
     p_render = sub.add_parser(
@@ -362,7 +401,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     root = Path(args.dir)
     if not root.is_dir():
-        print(f"error: {args.dir} is not a directory", file=sys.stderr)
+        if root.exists():
+            print(f"error: {args.dir} is not a directory", file=sys.stderr)
+            return 2
+        if args.action == "stats":
+            # A cache directory that was never created is just an empty
+            # cache — the common "stats before the first cached run"
+            # case must not error out (and must not create the dir).
+            print(f"cache     : {root} (not created yet)")
+            print("entries   : 0 (0.00 MB)")
+            print("temp files: 0 (0.00 MB)")
+            return 0
+        print(f"error: {args.dir} does not exist", file=sys.stderr)
         return 2
     cache = ResultCache(root)
     if args.action == "stats":
@@ -416,6 +466,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"swept {report.swept_temps} temp files, "
         f"pruned {report.pruned_dirs} empty dirs"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import make_server
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        pool=args.pool,
+        cache=args.cache,
+        npn=args.npn_dedup,
+        verbose=args.verbose,
+    )
+    host, port = server.address
+    print(f"janus serve: listening on http://{host}:{port}")
+    print(f"cache     : {server.cache_dir}"
+          + (" (server-owned, temporary)" if args.cache is None else ""))
+    print(f"pool      : {server.pool.size} sessions x "
+          f"{server.pool.jobs} worker(s)")
+    print("endpoints : POST /v1/synthesize  POST /v1/batch[?mode=async]")
+    print("            GET /v1/jobs/<id>  /v1/events/<id>  /v1/backends")
+    print("            GET /v1/cache/stats  /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
     return 0
 
 
@@ -528,6 +608,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table2": _cmd_table2,
         "table3": _cmd_table3,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "render": _cmd_render,
         "decompose": _cmd_decompose,
         "drat-check": _cmd_drat_check,

@@ -1,0 +1,249 @@
+"""``repro.client`` — a stdlib HTTP client for the ``janus serve`` API.
+
+:class:`ServiceClient` wraps ``http.client`` (no third-party
+dependencies, matching the server) and speaks the same
+:mod:`repro.api.schema` dataclasses as every other frontend: requests go
+out as their canonical JSON, responses come back re-validated through
+``from_json``, so a round-trip through the service is type-checked at
+both ends::
+
+    from repro.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8080)
+    response = client.synthesize("ab + a'b'c")      # SynthesisResponse
+    print(response.shape, response.size)
+
+    job_id = client.submit_batch([...])             # async batch
+    for page in client.iter_events(job_id):         # long-poll pages
+        print(page["events"])
+    batch = client.wait_batch(job_id)               # BatchResponse
+
+Error responses (the server's structured ``error`` envelope) raise
+:class:`ServerError` carrying the HTTP status and the decoded payload.
+Raw-byte accessors (:meth:`request_raw`) are exposed for tests that
+assert exact wire bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Iterator, Optional, Union
+from urllib.parse import urlencode
+
+from repro.api.schema import (
+    BatchRequest,
+    BatchResponse,
+    SynthesisRequest,
+    SynthesisResponse,
+)
+from repro.api.session import TargetLike
+from repro.errors import ApiError
+
+__all__ = ["ServiceClient", "ServerError"]
+
+
+class ServerError(ApiError):
+    """An error envelope returned by the service.
+
+    ``status`` is the HTTP status code; ``payload`` the decoded error
+    wire form (``kind == "error"``), when the body was JSON at all.
+    """
+
+    def __init__(self, status: int, payload: Optional[dict]) -> None:
+        message = (payload or {}).get("error") or f"HTTP {status}"
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """A thin, connection-per-call client for one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Union[str, bytes, None] = None,
+        params: Optional[dict] = None,
+    ) -> tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, body bytes)`` verbatim."""
+        if params:
+            path = f"{path}?{urlencode(params)}"
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _raise_for_status(status: int, raw: bytes) -> None:
+        if status < 400:
+            return
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            payload = None
+        raise ServerError(status, payload)
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Union[str, bytes, None] = None,
+        params: Optional[dict] = None,
+    ) -> dict:
+        status, raw = self.request_raw(method, path, body, params)
+        self._raise_for_status(status, raw)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            payload = None
+        if not isinstance(payload, dict):
+            raise ServerError(status, {"error": "non-JSON response body"})
+        return payload
+
+    @staticmethod
+    def _knobs(
+        backend: Optional[str],
+        timeout: Optional[float],
+        jobs: Optional[int],
+    ) -> dict:
+        params = {}
+        if backend is not None:
+            params["backend"] = backend
+        if timeout is not None:
+            params["timeout"] = timeout
+        if jobs is not None:
+            params["jobs"] = jobs
+        return params
+
+    # ------------------------------------------------------------ endpoints
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def backends(self) -> list[str]:
+        return self._json("GET", "/v1/backends")["backends"]
+
+    def cache_stats(self) -> dict:
+        return self._json("GET", "/v1/cache/stats")
+
+    def synthesize(
+        self,
+        target: Union[SynthesisRequest, TargetLike],
+        name: str = "f",
+        backend: Optional[str] = None,
+        timeout: Optional[float] = None,
+        jobs: Optional[int] = None,
+    ) -> SynthesisResponse:
+        """POST one synthesis job; returns the decoded response.
+
+        ``target`` may be a prepared :class:`SynthesisRequest` or any raw
+        target form the schema accepts.  ``backend``/``timeout``/``jobs``
+        become the server's per-request query knobs.
+        """
+        if not isinstance(target, SynthesisRequest):
+            target = SynthesisRequest.from_target(target, name=name)
+        status, raw = self.request_raw(
+            "POST",
+            "/v1/synthesize",
+            target.to_json(),
+            self._knobs(backend, timeout, jobs) or None,
+        )
+        self._raise_for_status(status, raw)
+        return SynthesisResponse.from_json(raw.decode("utf-8"))
+
+    def run_batch(
+        self,
+        batch: Union[BatchRequest, list],
+        timeout: Optional[float] = None,
+    ) -> BatchResponse:
+        """POST a synchronous batch; returns the decoded batch response."""
+        batch = self._coerce_batch(batch)
+        status, raw = self.request_raw(
+            "POST",
+            "/v1/batch",
+            batch.to_json(),
+            {"timeout": timeout} if timeout is not None else None,
+        )
+        self._raise_for_status(status, raw)
+        return BatchResponse.from_json(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------ async jobs
+    def submit_batch(self, batch: Union[BatchRequest, list]) -> str:
+        """POST an async batch; returns its job id immediately."""
+        batch = self._coerce_batch(batch)
+        payload = self._json(
+            "POST", "/v1/batch", batch.to_json(), {"mode": "async"}
+        )
+        return payload["job_id"]
+
+    def job(self, job_id: str) -> dict:
+        """The job status envelope (``kind == "job"``)."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def events(
+        self, job_id: str, cursor: int = 0, timeout: Optional[float] = None
+    ) -> dict:
+        """One long-poll page of a job's event stream."""
+        params: dict = {"cursor": cursor}
+        if timeout is not None:
+            params["timeout"] = timeout
+        return self._json("GET", f"/v1/events/{job_id}", params=params)
+
+    def iter_events(
+        self, job_id: str, poll_timeout: float = 10.0
+    ) -> Iterator[dict]:
+        """Yield event pages until the job reports itself done."""
+        cursor = 0
+        while True:
+            page = self.events(job_id, cursor=cursor, timeout=poll_timeout)
+            if page["events"]:
+                yield page
+            cursor = page["cursor"]
+            if page["done"]:
+                return
+
+    def wait_batch(
+        self, job_id: str, poll_timeout: float = 10.0
+    ) -> BatchResponse:
+        """Block (via the event long-poll) until a job finishes, then
+        return its decoded batch response.  A failed job raises
+        :class:`ServerError` with the job's recorded error envelope."""
+        for _ in self.iter_events(job_id, poll_timeout=poll_timeout):
+            pass
+        envelope = self.job(job_id)
+        if envelope["status"] == "error" or envelope["response"] is None:
+            error = envelope.get("error") or {}
+            raise ServerError(error.get("status", 500), error)
+        wire = dict(envelope["response"])
+        return BatchResponse.from_wire(wire)
+
+    @staticmethod
+    def _coerce_batch(batch: Union[BatchRequest, list]) -> BatchRequest:
+        if isinstance(batch, BatchRequest):
+            return batch
+        return BatchRequest(
+            requests=tuple(
+                r
+                if isinstance(r, SynthesisRequest)
+                else SynthesisRequest.from_target(r)
+                for r in batch
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host!r}, {self.port})"

@@ -41,6 +41,9 @@ __all__ = [
     "SynthesisStarted",
     "SynthesisFinished",
     "EventEmitter",
+    "EVENT_KINDS",
+    "event_to_wire",
+    "event_from_wire",
 ]
 
 
@@ -119,6 +122,19 @@ class EventEmitter:
         if callback is not None:
             self._callbacks.append(callback)
 
+    def unsubscribe(self, callback: Callable[[EngineEvent], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent).
+
+        Needed by callers that attach a short-lived listener — the HTTP
+        server's per-job event collector subscribes for one batch job and
+        detaches when the job finishes, so a long-lived engine does not
+        accumulate dead callbacks.
+        """
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
     def __bool__(self) -> bool:
         return bool(self._callbacks)
 
@@ -135,3 +151,45 @@ class EventEmitter:
                     RuntimeWarning,
                     stacklevel=2,
                 )
+
+
+# ------------------------------------------------------------------ wire form
+#: Wire tag <-> event class.  The tag travels as the ``"event"`` field of
+#: the JSON form served by ``GET /v1/events/<job_id>``; every other field
+#: is the dataclass field of the same name.
+EVENT_KINDS: dict[str, type] = {
+    "probe_started": ProbeStarted,
+    "probe_finished": ProbeFinished,
+    "bound_computed": BoundComputed,
+    "cache": CacheEvent,
+    "synthesis_started": SynthesisStarted,
+    "synthesis_finished": SynthesisFinished,
+}
+
+_KIND_BY_TYPE = {cls: kind for kind, cls in EVENT_KINDS.items()}
+
+
+def event_to_wire(event: EngineEvent) -> dict:
+    """JSON-safe dict form of an event: ``{"event": tag, ...fields}``.
+
+    Events cross the HTTP job boundary in this form; the tag keys
+    :data:`EVENT_KINDS` so a reader can rebuild the dataclass with
+    :func:`event_from_wire`.
+    """
+    import dataclasses
+
+    kind = _KIND_BY_TYPE.get(type(event))
+    if kind is None:
+        raise TypeError(f"not a wire-serializable event: {event!r}")
+    wire = dataclasses.asdict(event)
+    wire["event"] = kind
+    return wire
+
+
+def event_from_wire(wire: dict) -> EngineEvent:
+    """Rebuild the frozen event dataclass a wire dict describes."""
+    cls = EVENT_KINDS.get(wire.get("event"))
+    if cls is None:
+        raise ValueError(f"unknown event kind {wire.get('event')!r}")
+    fields = {k: v for k, v in wire.items() if k != "event"}
+    return cls(**fields)

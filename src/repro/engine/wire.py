@@ -8,7 +8,7 @@ used verbatim by
 * :mod:`repro.engine.cache` / :mod:`repro.engine.suite` — payloads
   persisted in the on-disk result cache, and
 * :mod:`repro.api.schema` — the public ``SynthesisResponse`` JSON wire
-  format (the future HTTP service speaks exactly these shapes).
+  format (:mod:`repro.server` serves exactly these shapes over HTTP).
 
 Keeping them in one module means a worker result can be written to the
 cache verbatim, a cache hit decodes through the same path as a pool

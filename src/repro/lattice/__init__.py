@@ -1,4 +1,20 @@
-"""Switching-lattice substrate: geometry, paths, functions, assignments."""
+"""Switching-lattice substrate: geometry, paths, functions, assignments.
+
+The hardware model the paper synthesizes for: a grid of four-terminal
+switches where a function is realized by top-to-bottom connectivity
+(and its dual by left-to-right connectivity):
+
+* :class:`Grid` and the path machinery — enumeration/counting of
+  top-bottom and (8-connected) left-right paths, the basis of both the
+  LM encoding and Table I;
+* :func:`lattice_function` / :func:`lattice_dual_function` — evaluate
+  what a switch assignment actually computes (the independent checker
+  used to verify every synthesized lattice);
+* :class:`LatticeAssignment` — the result form (per-cell literals or
+  constants), shared by the wire schema and renderers;
+* fault analysis (:func:`fault_table`, minimal test sets) and ASCII/SVG
+  rendering.
+"""
 
 from repro.lattice.grid import Grid
 from repro.lattice.paths import (

@@ -1,4 +1,20 @@
-"""SAT substrate: CNF containers, CDCL solver, encodings, proofs, I/O."""
+"""SAT substrate: CNF containers, CDCL solver, encodings, proofs, I/O.
+
+A self-contained conflict-driven clause-learning stack:
+
+* :class:`CdclSolver` — two-watched-literal propagation, VSIDS-style
+  activities, restarts, clause deletion, *assumptions* (the hook the
+  incremental probe protocol rides), per-call conflict/time budgets and
+  optional DRAT proof logging;
+* :class:`Cnf` / :class:`VarPool` — clause containers and variable
+  allocation shared by every encoder;
+* cardinality encodings (pairwise/sequential/commander AMO,
+  totalizers) used by the LM encodings;
+* :func:`simplify` / :func:`preprocess` — bounded variable elimination
+  and subsumption front-ends;
+* DIMACS and DRAT I/O plus :func:`check_refutation`, an independent
+  proof checker used to audit UNSAT answers in tests.
+"""
 
 from repro.sat.cnf import Cnf, VarPool
 from repro.sat.solver import (

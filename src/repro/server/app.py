@@ -1,0 +1,453 @@
+"""The HTTP application: routing, request parsing, response writing.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, no third-party dependencies — with all synthesis work
+delegated to the warm :class:`~repro.server.pool.SessionPool`.  The
+routes (details and curl examples in ``docs/server.md``):
+
+==========================  =============================================
+``POST /v1/synthesize``     one ``synthesis_request`` -> the
+                            ``synthesis_response`` wire form, byte for
+                            byte what ``janus synth --json`` prints
+``POST /v1/batch``          a ``batch_request`` -> ``batch_response``;
+                            with ``?mode=async`` -> ``202`` + a ``job``
+                            envelope instead of blocking
+``GET /v1/jobs/<id>``       job status (+ the finished batch response)
+``GET /v1/events/<id>``     long-poll one page of the job's progress
+                            events (``?cursor=N&timeout=S``)
+``GET /v1/backends``        registered backend names
+``GET /v1/cache/stats``     merged engine counters + disk cache summary
+``GET /healthz``            liveness + version + uptime
+==========================  =============================================
+
+Per-request knobs ride on the query string: ``?backend=`` overrides the
+request's backend field (resolved against the registry — unknown names
+404), ``?timeout=`` imposes a wall-clock budget (overrun -> 408), and
+``?jobs=`` asks for a different engine width than the pooled sessions
+carry (served by a throwaway session against the same shared cache).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.schema import BatchRequest, SynthesisRequest
+from repro.api.session import Session
+from repro.errors import ValidationError
+from repro.server.jobs import JobManager
+from repro.server.pool import SessionPool
+from repro.server.protocol import (
+    backends_wire,
+    cache_stats_wire,
+    error_wire,
+    events_wire,
+    health_wire,
+    job_wire,
+    status_for_exception,
+)
+
+__all__ = ["SynthesisServer", "make_server"]
+
+#: Long-poll ceiling: a single /v1/events call blocks at most this long.
+MAX_POLL_SECONDS = 60.0
+DEFAULT_POLL_SECONDS = 25.0
+#: Request-body ceiling.  The largest legitimate payload — a batch of
+#: 24-variable truth-table targets — is well under this; anything bigger
+#: is a mistake or abuse and is rejected before buffering.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route one HTTP exchange; all state lives on ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server: "SynthesisServer"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, fmt: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload) -> None:
+        """Write ``payload`` (a wire dict, or pre-canonical bytes)."""
+        self._settle_request_body()
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            body = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _settle_request_body(self) -> None:
+        """Leave the connection at a request boundary before responding.
+
+        A POST rejected before its body was read (404 route, 405 verb,
+        bad header) would otherwise desync HTTP/1.1 keep-alive: the next
+        request would be parsed out of the middle of the stale body.
+        Reasonable bodies are drained and discarded; unreasonable or
+        unparseable lengths close the connection instead.
+        """
+        if getattr(self, "_body_consumed", True) is True:
+            return
+        self._body_consumed = True
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if 0 <= length <= MAX_BODY_BYTES:
+            while length > 0:
+                chunk = self.rfile.read(min(length, 65536))
+                if not chunk:
+                    break
+                length -= len(chunk)
+        else:
+            self.close_connection = True
+
+    def _send_error_wire(self, exc: BaseException) -> None:
+        # Routing errors carry their own status; everything else maps
+        # through the shared exception table in server.protocol.
+        status = getattr(exc, "http_status", None) or status_for_exception(exc)
+        self._send_json(status, error_wire(status, exc))
+
+    def _read_body(self) -> str:
+        self._body_consumed = True
+        raw = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw)
+        except ValueError:
+            self.close_connection = True  # cannot find the next request
+            raise ValidationError(f"malformed Content-Length: {raw!r}")
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ValidationError(
+                f"Content-Length {length} outside 0..{MAX_BODY_BYTES}"
+            )
+        try:
+            return self.rfile.read(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValidationError(f"request body is not UTF-8: {exc}")
+
+    def _query(self) -> dict[str, str]:
+        raw = parse_qs(urlsplit(self.path).query)
+        return {k: v[-1] for k, v in raw.items()}
+
+    def _route(self) -> str:
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
+    @staticmethod
+    def _float_param(query: dict, key: str) -> Optional[float]:
+        if key not in query:
+            return None
+        try:
+            value = float(query[key])
+        except ValueError:
+            raise ValidationError(f"{key} must be a number, got {query[key]!r}")
+        if value <= 0:
+            raise ValidationError(f"{key} must be positive, got {value!r}")
+        return value
+
+    @staticmethod
+    def _int_param(query: dict, key: str) -> Optional[int]:
+        if key not in query:
+            return None
+        try:
+            return int(query[key])
+        except ValueError:
+            raise ValidationError(
+                f"{key} must be an integer, got {query[key]!r}"
+            )
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            route = self._route()
+            if route == "/healthz":
+                return self._send_json(200, self.server.health())
+            if route == "/v1/backends":
+                return self._send_json(
+                    200, backends_wire(self.server.registry_names())
+                )
+            if route == "/v1/cache/stats":
+                return self._send_json(200, self.server.cache_stats())
+            if route.startswith("/v1/jobs/"):
+                return self._get_job(route.removeprefix("/v1/jobs/"))
+            if route.startswith("/v1/events/"):
+                return self._get_events(route.removeprefix("/v1/events/"))
+            if route in ("/v1/synthesize", "/v1/batch"):
+                raise _MethodNotAllowed(f"method not allowed for {route}")
+            raise _NotFound(f"no such path: {route}")
+        except Exception as exc:
+            self._send_error_wire(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._body_consumed = not self.headers.get("Content-Length")
+        try:
+            route = self._route()
+            if route == "/v1/synthesize":
+                return self._post_synthesize()
+            if route == "/v1/batch":
+                return self._post_batch()
+            if route in (
+                "/healthz",
+                "/v1/backends",
+                "/v1/cache/stats",
+            ) or route.startswith(("/v1/jobs/", "/v1/events/")):
+                raise _MethodNotAllowed(f"method not allowed for {route}")
+            raise _NotFound(f"no such path: {route}")
+        except Exception as exc:
+            self._send_error_wire(exc)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._body_consumed = not self.headers.get("Content-Length")
+        self._send_error_wire(
+            _MethodNotAllowed(f"method not allowed for {self._route()}")
+        )
+
+    do_DELETE = do_PUT
+
+    # ---------------------------------------------------------- POST bodies
+    def _post_synthesize(self) -> None:
+        query = self._query()
+        request = SynthesisRequest.from_json(self._read_body())
+        if "backend" in query:
+            request = request.with_backend(query["backend"])
+        timeout = self._float_param(query, "timeout")
+        jobs = self._int_param(query, "jobs")
+        response = self.server.run_synthesize(request, timeout, jobs)
+        self._send_json(200, response.to_json().encode("utf-8"))
+
+    def _post_batch(self) -> None:
+        query = self._query()
+        batch = BatchRequest.from_json(self._read_body())
+        if query.get("mode") == "async":
+            job = self.server.jobs.submit(batch)
+            return self._send_json(202, job_wire(job))
+        timeout = self._float_param(query, "timeout")
+        response = self.server.run_batch(batch, timeout)
+        self._send_json(200, response.to_json().encode("utf-8"))
+
+    # ----------------------------------------------------------- job routes
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.jobs.get(job_id)
+        if job is None:
+            raise _NotFound(f"no such job: {job_id!r}")
+        self._send_json(200, job_wire(job))
+
+    def _get_events(self, job_id: str) -> None:
+        job = self.server.jobs.get(job_id)
+        if job is None:
+            raise _NotFound(f"no such job: {job_id!r}")
+        query = self._query()
+        cursor = self._int_param(query, "cursor") or 0
+        timeout = self._float_param(query, "timeout")
+        timeout = (
+            DEFAULT_POLL_SECONDS
+            if timeout is None
+            else min(timeout, MAX_POLL_SECONDS)
+        )
+        events, cursor, done = job.wait_events(cursor, timeout)
+        self._send_json(200, events_wire(job.job_id, events, cursor, done))
+
+
+class _NotFound(ValidationError):
+    """Route/resource miss."""
+
+    http_status = 404
+
+
+class _MethodNotAllowed(ValidationError):
+    """Known route, wrong verb."""
+
+    http_status = 405
+
+
+class SynthesisServer(ThreadingHTTPServer):
+    """The ``janus serve`` HTTP service.
+
+    Construction binds the socket; call :meth:`serve_forever` (or run it
+    on a thread, as the tests and benchmarks do) to start answering.
+    ``cache`` is the shared on-disk result cache every pooled session
+    uses; when omitted the server owns a private temporary directory for
+    its lifetime, so warm repeats hit the suite cache out of the box.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        pool: int = 2,
+        cache: Optional[str] = None,
+        npn: bool = False,
+        keep_jobs: int = 128,
+        verbose: bool = False,
+    ) -> None:
+        self.verbose = verbose
+        self._owned_cache = cache is None
+        self.cache_dir = (
+            tempfile.mkdtemp(prefix="janus-serve-") if cache is None else cache
+        )
+        self.pool = SessionPool(
+            size=pool, jobs=jobs, cache=self.cache_dir, npn=npn
+        )
+        self.jobs = JobManager(self.pool, keep=keep_jobs)
+        self.started = time.monotonic()
+        self._closed = False
+        self._serving = False
+        try:
+            super().__init__((host, port), _Handler)
+        except OSError:
+            # Bind failures (port in use, bad address) must not leak the
+            # resources built above — especially the owned temp dir.
+            self.pool.close()
+            if self._owned_cache:
+                shutil.rmtree(self.cache_dir, ignore_errors=True)
+            raise
+
+    # -------------------------------------------------------------- queries
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def registry_names(self) -> list[str]:
+        from repro.api.backends import backend_names
+
+        return backend_names()
+
+    def health(self) -> dict:
+        from repro import __version__
+
+        return health_wire(
+            __version__, time.monotonic() - self.started, len(self.jobs)
+        )
+
+    def cache_stats(self) -> dict:
+        from repro.engine.cache import ResultCache
+        from repro.engine.gc import cache_stats
+
+        disk = None
+        try:
+            st = cache_stats(ResultCache(self.cache_dir))
+            disk = {
+                "entries": st.entries,
+                "entry_bytes": st.entry_bytes,
+                "temp_files": st.temp_files,
+                "temp_bytes": st.temp_bytes,
+            }
+        except Exception:
+            pass  # an unreadable cache dir degrades to engine stats only
+        return cache_stats_wire(
+            self.pool.stats(), disk, self.cache_dir, self.pool
+        )
+
+    # ------------------------------------------------------------ execution
+    def run_synthesize(
+        self,
+        request: SynthesisRequest,
+        timeout: Optional[float] = None,
+        jobs: Optional[int] = None,
+    ):
+        if jobs is not None:
+            # Same normalization the pool applied to its own width, so
+            # ?jobs=0 ("all CPUs") or a clamped negative matching the
+            # pool is served warm instead of paying one-off engine setup.
+            from repro.engine.parallel import default_jobs
+
+            jobs = default_jobs() if jobs == 0 else max(1, jobs)
+        if jobs is not None and jobs != self.pool.jobs:
+            # A one-off engine width: a throwaway session over the same
+            # shared cache, so the request still sees (and feeds) the
+            # warm result layers.  Its counters are folded into the
+            # pool's retired total so /v1/cache/stats stays truthful.
+            def run_oneoff(_unused: Session):
+                with Session(
+                    jobs=jobs, cache=self.cache_dir, npn=self.pool.npn
+                ) as session:
+                    try:
+                        return session.synthesize(request)
+                    finally:
+                        self.pool.absorb(session)
+
+            return self.pool.run(run_oneoff, timeout)
+        return self.pool.run(
+            lambda session: session.synthesize(request), timeout
+        )
+
+    def run_batch(self, batch: BatchRequest, timeout: Optional[float] = None):
+        return self.pool.run(lambda session: session.run_batch(batch), timeout)
+
+    # ------------------------------------------------------------ lifecycle
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        super().serve_forever(poll_interval)
+
+    def close(self) -> None:
+        """Stop serving and release every owned resource (idempotent).
+
+        Safe on a server that was built but never served: stdlib
+        ``shutdown()`` blocks on an event only ``serve_forever`` sets,
+        so it is skipped unless serving actually started.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            self.shutdown()
+        self.server_close()
+        self.pool.close()
+        if self._owned_cache:
+            shutil.rmtree(self.cache_dir, ignore_errors=True)
+
+    def serve_background(self) -> threading.Thread:
+        """Start :meth:`serve_forever` on a daemon thread (tests/bench)."""
+        # Marked serving before the thread runs: a close() racing the
+        # thread start must call shutdown() (it unblocks the loop even
+        # if requested first), not skip it.
+        self._serving = True
+        thread = threading.Thread(
+            target=self.serve_forever, name="janus-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def __enter__(self) -> "SynthesisServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    pool: int = 2,
+    cache: Optional[str] = None,
+    npn: bool = False,
+    verbose: bool = False,
+) -> SynthesisServer:
+    """Build (and bind) a :class:`SynthesisServer`; ``port=0`` picks a
+    free ephemeral port — read it back from ``server.address``."""
+    return SynthesisServer(
+        host=host,
+        port=port,
+        jobs=jobs,
+        pool=pool,
+        cache=cache,
+        npn=npn,
+        verbose=verbose,
+    )

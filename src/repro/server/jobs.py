@@ -1,0 +1,164 @@
+"""Background batch jobs with a buffered progress-event stream.
+
+``POST /v1/batch?mode=async`` turns a :class:`~repro.api.BatchRequest`
+into a *job*: the work runs on its own thread against a session checked
+out of the :class:`~repro.server.pool.SessionPool`, and every structured
+progress event the engine emits while the job holds that session
+(:mod:`repro.engine.events`) is appended — in emission order, already in
+wire form — to the job's buffer.  ``GET /v1/events/<job_id>`` long-polls
+that buffer with a cursor: the call returns immediately when events past
+the cursor exist, otherwise it blocks until one arrives, the job ends,
+or the poll times out.  Cursors make the stream resumable and lossless —
+a slow reader misses nothing, it just pages through the buffer.
+
+A finished job keeps its result (the ``batch_response`` wire form) until
+it is evicted; the manager retains the most recent ``keep`` finished
+jobs so an abandoned poller cannot pin memory forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Optional
+
+from repro.api.schema import BatchRequest
+from repro.api.session import Session
+from repro.engine.events import EngineEvent, event_to_wire
+from repro.server.pool import SessionPool
+
+__all__ = ["Job", "JobManager"]
+
+#: Job lifecycle states, in order.
+QUEUED, RUNNING, DONE, ERROR = "queued", "running", "done", "error"
+
+
+class Job:
+    """One asynchronous batch run: state + event buffer + result."""
+
+    def __init__(self, job_id: str, size: int) -> None:
+        self.job_id = job_id
+        self.size = size  # number of requests in the batch
+        self.status = QUEUED
+        self.events: list[dict] = []  # wire-form events, emission order
+        self.result: Optional[dict] = None  # batch_response wire form
+        self.error: Optional[dict] = None  # error wire form
+        self.created = time.monotonic()
+        self.finished_at: Optional[float] = None
+        self._cond = threading.Condition()
+
+    @property
+    def done(self) -> bool:
+        return self.status in (DONE, ERROR)
+
+    # ------------------------------------------------------------- mutation
+    def _notify(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def add_event(self, event: EngineEvent) -> None:
+        wire = event_to_wire(event)
+        with self._cond:
+            self.events.append(wire)
+            self._cond.notify_all()
+
+    def finish(self, result: Optional[dict], error: Optional[dict]) -> None:
+        with self._cond:
+            self.result = result
+            self.error = error
+            self.status = ERROR if error is not None else DONE
+            self.finished_at = time.monotonic()
+            self._cond.notify_all()
+
+    # -------------------------------------------------------------- reading
+    def wait_events(
+        self, cursor: int, timeout: Optional[float]
+    ) -> tuple[list[dict], int, bool]:
+        """Events past ``cursor``: ``(events, next_cursor, done)``.
+
+        Blocks until at least one new event exists, the job finishes, or
+        ``timeout`` seconds pass (``None`` = do not block).  The returned
+        cursor is the index to pass on the next poll.
+        """
+        cursor = max(0, cursor)
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while (
+                len(self.events) <= cursor
+                and not self.done
+                and deadline is not None
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            fresh = self.events[cursor:]
+            return fresh, cursor + len(fresh), self.done
+
+
+class JobManager:
+    """Create, run, look up and expire background batch jobs."""
+
+    def __init__(self, pool: SessionPool, keep: int = 128) -> None:
+        self.pool = pool
+        self.keep = max(1, int(keep))
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def submit(self, batch: BatchRequest) -> Job:
+        """Register a job for ``batch`` and start it on its own thread."""
+        with self._lock:
+            job = Job(f"job-{next(self._counter)}", len(batch))
+            self._jobs[job.job_id] = job
+            self._evict_locked()
+        thread = threading.Thread(
+            target=self._run,
+            args=(job, batch),
+            name=f"janus-serve-{job.job_id}",
+            daemon=True,
+        )
+        thread.start()
+        return job
+
+    def _run(self, job: Job, batch: BatchRequest) -> None:
+        def work(session: Session) -> dict:
+            session.subscribe(job.add_event)
+            try:
+                return session.run_batch(batch).to_wire()
+            finally:
+                session.unsubscribe(job.add_event)
+
+        job.status = RUNNING
+        job._notify()
+        try:
+            result = self.pool.run(work)
+        except Exception as exc:
+            # Import here to keep jobs.py free of HTTP concerns beyond
+            # the one error envelope it must record.
+            from repro.server.protocol import error_wire, status_for_exception
+
+            job.finish(None, error_wire(status_for_exception(exc), exc))
+        else:
+            job.finish(result, None)
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest *finished* jobs beyond the retention bound."""
+        finished = [j for j in self._jobs.values() if j.done]
+        excess = len(self._jobs) - self.keep
+        if excess <= 0:
+            return
+        finished.sort(key=lambda j: j.finished_at or 0.0)
+        for job in finished[:excess]:
+            del self._jobs[job.job_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -15,6 +15,16 @@ class TestParser:
         assert args.expression == "ab"
         assert args.max_conflicts == 5
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--pool", "3", "--jobs", "2"]
+        )
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.pool == 3
+        assert args.jobs == 2
+        assert args.cache is None
+
 
 class TestCommands:
     def test_synth_expression(self, capsys):
@@ -155,10 +165,28 @@ class TestCacheCommand:
         assert main(["cache", "gc", str(tmp_path), "--max-age-days", "30"]) == 0
         assert "1 by age" in capsys.readouterr().out
 
-    def test_missing_dir_is_an_error(self, tmp_path, capsys):
+    def test_stats_on_missing_dir_reports_empty_cache(self, tmp_path, capsys):
+        # A cache dir that was never created is just an empty cache:
+        # stats must report zeros, exit 0, and NOT create the directory.
         missing = tmp_path / "nope"
-        assert main(["cache", "stats", str(missing)]) == 2
+        assert main(["cache", "stats", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert "not created yet" in out
+        assert not missing.exists()
+
+    def test_stats_on_file_is_an_error(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        assert main(["cache", "stats", str(not_a_dir)]) == 2
         assert "not a directory" in capsys.readouterr().err
+
+    def test_gc_on_missing_dir_is_an_error(self, tmp_path, capsys):
+        # Mutating actions on a nonexistent cache stay errors — only
+        # the read-only stats degrades to "empty".
+        missing = tmp_path / "nope"
+        assert main(["cache", "gc", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
 
 
 class TestJsonOutput:
