@@ -23,6 +23,7 @@ from repro.core.janus import JanusOptions
 from repro.core.multi import merge_straightforward, synthesize_multi
 from repro.core.structural import structural_lower_bound
 from repro.core.target import TargetSpec
+from repro.errors import SynthesisError
 from repro.lattice.count import PAPER_TABLE1, format_table1, products_table
 from repro.bench.instances import (
     PAPER_TABLE3,
@@ -103,8 +104,8 @@ def fig4(options: Optional[JanusOptions] = None) -> Fig4Report:
     try:
         ds = ub_ds(spec, options)
         bounds["ds"] = (ds.rows, ds.cols)
-    except Exception:
-        pass
+    except SynthesisError:
+        pass  # DS does not apply to every target (same as the workers)
     # Resolve JANUS through the backend registry (not core.janus
     # directly) but hand it the caller's full JanusOptions — the wire
     # schema's RequestOptions would drop the EncodeOptions knobs.

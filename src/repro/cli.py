@@ -16,6 +16,7 @@ Subcommands::
     janus cache verify DIR            replay stored assignments vs specs
     janus cache gc DIR --max-age-days 30 --max-size-mb 512   bounded GC
     janus serve --port 8080 --jobs 2  serve the JSON wire schema over HTTP
+    janus lint [--strict] [--json]    run the static-analysis suite
 
 The CLI is a thin frontend over the stable :mod:`repro.api` facade —
 every synthesis goes through a :class:`repro.api.Session`, and ``--json``
@@ -246,6 +247,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("expression", help="SOP, e.g. \"ab + a'c\"")
     p_faults.add_argument(
         "--max-conflicts", type=int, default=60_000, help="SAT budget per LM"
+    )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis suite (tools/janalyze)",
+    )
+    p_lint.add_argument(
+        "--root", default=None, help="repo root (default: auto-detected)"
+    )
+    p_lint.add_argument(
+        "--only", default=None, help="comma-separated checker names"
+    )
+    p_lint.add_argument(
+        "--baseline", default=None, help="baseline file to apply"
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (CI mode)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    p_lint.add_argument(
+        "--list", action="store_true", help="list registered checkers"
     )
 
     return parser
@@ -596,6 +627,51 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """``janus lint``: the repo's static-analysis suite.
+
+    The analyzer lives in ``tools/janalyze`` at the repo root — outside
+    the installed package — so this handler locates the checkout (the
+    ``--root`` flag, the working directory, or the source tree this
+    module was imported from) and puts it on ``sys.path`` before
+    delegating.  Exit codes: 0 clean, 1 findings, 2 usage error.
+    """
+    from pathlib import Path
+
+    def has_janalyze(root: Path) -> bool:
+        return (root / "tools" / "janalyze" / "__init__.py").is_file()
+
+    candidates = []
+    if args.root:
+        candidates.append(Path(args.root).resolve())
+    cwd = Path.cwd().resolve()
+    candidates.extend([cwd, *cwd.parents])
+    # An editable/source checkout: src/repro/cli.py -> repo root.
+    candidates.append(Path(__file__).resolve().parents[2])
+    root = next((c for c in candidates if has_janalyze(c)), None)
+    if root is None:
+        print(
+            "error: no tools/janalyze found — run from a repo checkout "
+            "or pass --root",
+            file=sys.stderr,
+        )
+        return 2
+
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.janalyze.runner import main as janalyze_main
+
+    argv = ["--root", str(root)]
+    if args.only:
+        argv += ["--only", args.only]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    for flag in ("write_baseline", "strict", "json", "list"):
+        if getattr(args, flag):
+            argv.append("--" + flag.replace("_", "-"))
+    return janalyze_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.errors import ReproError
 
@@ -613,6 +689,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "decompose": _cmd_decompose,
         "drat-check": _cmd_drat_check,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

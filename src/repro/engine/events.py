@@ -142,6 +142,8 @@ class EventEmitter:
         for callback in list(self._callbacks):
             try:
                 callback(event)
+            # janalyze: allow-broad-except a raising progress callback is
+            # disabled and reported; it must never corrupt the search
             except Exception:
                 import warnings
 

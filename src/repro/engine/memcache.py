@@ -18,6 +18,7 @@ on the event channel as ``CacheEvent(layer="memory")``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -27,47 +28,66 @@ DEFAULT_MEMORY_ENTRIES = 512
 
 
 class LruCache:
-    """A bounded mapping of cache keys to payload dicts, LRU-evicted."""
+    """A bounded mapping of cache keys to payload dicts, LRU-evicted.
 
-    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+    Thread-safe: a session pool shares one engine-level LRU across the
+    server's worker threads, and even a ``get`` mutates recency order,
+    so every operation takes the cache lock.
+    """
+
+    __slots__ = (
+        "capacity",
+        "_lock",
+        "_data",
+        "hits",
+        "misses",
+        "evictions",
+    )
 
     def __init__(self, capacity: int = DEFAULT_MEMORY_ENTRIES) -> None:
         if capacity < 1:
             raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._data: OrderedDict[str, dict] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._lock = threading.Lock()
+        self._data: OrderedDict[str, dict] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def get(self, key: str) -> Optional[dict]:
-        payload = self._data.get(key)
-        if payload is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return payload
+        with self._lock:
+            payload = self._data.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return payload
 
     def put(self, key: str, payload: dict) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = payload
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = payload
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __repr__(self) -> str:
-        return (
-            f"LruCache({len(self._data)}/{self.capacity} entries, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        with self._lock:
+            return (
+                f"LruCache({len(self._data)}/{self.capacity} entries, "
+                f"hits={self.hits}, misses={self.misses})"
+            )

@@ -188,6 +188,8 @@ class _Handler(BaseHTTPRequestHandler):
             if route in ("/v1/synthesize", "/v1/batch"):
                 raise _MethodNotAllowed(f"method not allowed for {route}")
             raise _NotFound(f"no such path: {route}")
+        # janalyze: allow-broad-except top-level HTTP handler — every
+        # failure must become a structured error envelope (500 for bugs)
         except Exception as exc:
             self._send_error_wire(exc)
 
@@ -206,6 +208,8 @@ class _Handler(BaseHTTPRequestHandler):
             ) or route.startswith(("/v1/jobs/", "/v1/events/")):
                 raise _MethodNotAllowed(f"method not allowed for {route}")
             raise _NotFound(f"no such path: {route}")
+        # janalyze: allow-broad-except top-level HTTP handler — every
+        # failure must become a structured error envelope (500 for bugs)
         except Exception as exc:
             self._send_error_wire(exc)
 
@@ -338,6 +342,7 @@ class SynthesisServer(ThreadingHTTPServer):
     def cache_stats(self) -> dict:
         from repro.engine.cache import ResultCache
         from repro.engine.gc import cache_stats
+        from repro.errors import CacheError
 
         disk = None
         try:
@@ -348,7 +353,7 @@ class SynthesisServer(ThreadingHTTPServer):
                 "temp_files": st.temp_files,
                 "temp_bytes": st.temp_bytes,
             }
-        except Exception:
+        except (CacheError, OSError):
             pass  # an unreadable cache dir degrades to engine stats only
         return cache_stats_wire(
             self.pool.stats(), disk, self.cache_dir, self.pool

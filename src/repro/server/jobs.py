@@ -40,21 +40,26 @@ class Job:
     def __init__(self, job_id: str, size: int) -> None:
         self.job_id = job_id
         self.size = size  # number of requests in the batch
-        self.status = QUEUED
-        self.events: list[dict] = []  # wire-form events, emission order
-        self.result: Optional[dict] = None  # batch_response wire form
-        self.error: Optional[dict] = None  # error wire form
-        self.created = time.monotonic()
-        self.finished_at: Optional[float] = None
+        # One condition guards all mutable job state; its (reentrant)
+        # lock makes status/result/events move together, and waiters in
+        # wait_events() wake on every transition.
         self._cond = threading.Condition()
+        self.status = QUEUED  # guarded-by: _cond
+        self.events: list[dict] = []  # guarded-by: _cond
+        self.result: Optional[dict] = None  # guarded-by: _cond
+        self.error: Optional[dict] = None  # guarded-by: _cond
+        self.created = time.monotonic()
+        self.finished_at: Optional[float] = None  # guarded-by: _cond
 
     @property
     def done(self) -> bool:
-        return self.status in (DONE, ERROR)
+        with self._cond:
+            return self.status in (DONE, ERROR)
 
     # ------------------------------------------------------------- mutation
-    def _notify(self) -> None:
+    def mark_running(self) -> None:
         with self._cond:
+            self.status = RUNNING
             self._cond.notify_all()
 
     def add_event(self, event: EngineEvent) -> None:
@@ -98,6 +103,17 @@ class Job:
             fresh = self.events[cursor:]
             return fresh, cursor + len(fresh), self.done
 
+    def snapshot(self) -> dict:
+        """One coherent view of the mutable state, for the wire layer:
+        ``{status, events (buffer length), response, error}``."""
+        with self._cond:
+            return {
+                "status": self.status,
+                "events": len(self.events),
+                "response": self.result,
+                "error": self.error,
+            }
+
 
 class JobManager:
     """Create, run, look up and expire background batch jobs."""
@@ -105,9 +121,9 @@ class JobManager:
     def __init__(self, pool: SessionPool, keep: int = 128) -> None:
         self.pool = pool
         self.keep = max(1, int(keep))
-        self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
-        self._counter = itertools.count(1)
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock
+        self._counter = itertools.count(1)  # guarded-by: _lock
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -136,10 +152,11 @@ class JobManager:
             finally:
                 session.unsubscribe(job.add_event)
 
-        job.status = RUNNING
-        job._notify()
+        job.mark_running()
         try:
             result = self.pool.run(work)
+        # janalyze: allow-broad-except job thread — any failure must be
+        # recorded as the job's error envelope so pollers see it
         except Exception as exc:
             # Import here to keep jobs.py free of HTTP concerns beyond
             # the one error envelope it must record.

@@ -59,14 +59,14 @@ class SessionPool:
         self._idle: "queue.Queue[Session]" = queue.Queue()
         for session in self._sessions:
             self._idle.put(session)
-        self._closed = False
         # Guards the closed flag against the release/close race: without
         # it a release racing close() could re-enqueue a session after
         # the drain and leak its worker pool.
         self._lock = threading.Lock()
+        self._closed = False  # guarded-by: _lock
         # Counters of sessions that no longer exist (one-off engine
         # widths); stats() folds them in so served totals stay truthful.
-        self._retired = EngineStats()
+        self._retired = EngineStats()  # guarded-by: _lock
 
     def _make_session(self) -> Session:
         return Session(jobs=self.jobs, cache=self.cache, npn=self.npn)
@@ -97,7 +97,9 @@ class SessionPool:
         # would otherwise wait on a queue nothing will ever refill
         # (release() closes sessions once the pool is closed).
         while True:
-            if self._closed:
+            with self._lock:
+                closed = self._closed
+            if closed:
                 raise RuntimeError("session pool is closed")
             try:
                 return self._idle.get(timeout=0.1)
@@ -150,7 +152,9 @@ class SessionPool:
         def work() -> None:
             try:
                 outcome["value"] = fn(session)
-            except BaseException as exc:  # delivered to the waiter
+            # janalyze: allow-broad-except helper thread — the exception
+            # is delivered to (and re-raised by) the waiting caller
+            except BaseException as exc:
                 outcome["error"] = exc
             finally:
                 done.set()

@@ -76,17 +76,16 @@ def job_wire(job) -> dict:
     ``response`` carries the finished ``batch_response`` wire form (or
     ``null`` while running); ``error`` carries the error envelope of a
     failed job.  ``events`` is the buffer length, i.e. the cursor an
-    up-to-date poller would hold.
+    up-to-date poller would hold.  ``Job.snapshot()`` reads the mutable
+    fields under the job's condition so the envelope is coherent even
+    while the job thread is finishing.
     """
     return {
         "api": API_VERSION,
         "kind": "job",
         "job_id": job.job_id,
-        "status": job.status,
         "size": job.size,
-        "events": len(job.events),
-        "response": job.result,
-        "error": job.error,
+        **job.snapshot(),
     }
 
 

@@ -243,3 +243,19 @@ class TestWarmSuiteCacheCommand:
         assert "solver_calls=0" in warm_out
         assert "bound_calls=0" in warm_out
         assert "suite hits/misses=2/0" in warm_out
+
+
+class TestLintCommand:
+    def test_lint_args(self):
+        args = build_parser().parse_args(["lint", "--strict", "--json"])
+        assert args.strict and args.json
+        assert args.only is None
+
+    def test_lint_repo_is_clean(self, capsys):
+        # The committed tree must pass its own analyzer with an empty
+        # baseline — the CI gate in miniature.
+        assert main(["lint", "--strict"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_unknown_checker_is_usage_error(self, capsys):
+        assert main(["lint", "--only", "nonsense"]) == 2

@@ -1,0 +1,41 @@
+"""Fixtures for the janalyze test suite.
+
+The analyzer lives in ``tools/`` (not ``src/``) so the repo root must be
+importable; tests otherwise run with ``PYTHONPATH=src`` only.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.janalyze.project import Project  # noqa: E402
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Build a throwaway project tree from ``{relpath: source}``.
+
+    Returns a ready :class:`Project`; per-checker config can be passed
+    as ``config={"checkers": {...}}``.
+    """
+
+    def build(files: dict[str, str], config: dict | None = None) -> Project:
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+        return Project(root=tmp_path, config=config or {})
+
+    return build

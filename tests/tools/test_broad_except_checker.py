@@ -1,0 +1,127 @@
+"""Broad-except checker: pragmas, re-raises, narrow handlers."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.janalyze.checkers.broad_except import BroadExceptChecker
+
+
+def run(make_project, source: str):
+    project = make_project(
+        {"mod.py": textwrap.dedent(source)},
+        config={"checkers": {"broad-except": {"paths": ["mod.py"]}}},
+    )
+    return BroadExceptChecker().check(project)
+
+
+def test_unjustified_broad_except_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f():
+            try:
+                return 1
+            except Exception:
+                return None
+        """,
+    )
+    assert len(findings) == 1
+    assert "except Exception" in findings[0].message
+
+
+def test_bare_except_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f():
+            try:
+                return 1
+            except:
+                return None
+        """,
+    )
+    assert len(findings) == 1
+    assert "bare" in findings[0].message
+
+
+def test_base_exception_in_tuple_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f():
+            try:
+                return 1
+            except (ValueError, BaseException):
+                return None
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_narrow_handler_is_quiet(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f():
+            try:
+                return 1
+            except (ValueError, KeyError):
+                return None
+        """,
+    )
+    assert findings == []
+
+
+def test_reraise_exempts(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f(log):
+            try:
+                return 1
+            except Exception:
+                log.error("failed")
+                raise
+        """,
+    )
+    assert findings == []
+
+
+def test_pragma_with_reason_exempts(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f():
+            try:
+                return 1
+            # janalyze: allow-broad-except top-level handler must return
+            # an error envelope for any failure
+            except Exception:
+                return None
+        """,
+    )
+    assert findings == []
+
+
+def test_pragma_without_reason_is_itself_a_finding(make_project):
+    findings = run(
+        make_project,
+        """\
+        def f():
+            try:
+                return 1
+            except Exception:  # janalyze: allow-broad-except
+                return None
+        """,
+    )
+    assert len(findings) == 1
+    assert "no reason" in findings[0].message
+
+
+def test_every_repo_site_is_narrowed_or_justified(repo_root):
+    from tools.janalyze.config import DEFAULT_CONFIG
+    from tools.janalyze.project import Project
+
+    project = Project(root=repo_root, config=DEFAULT_CONFIG)
+    assert BroadExceptChecker().check(project) == []

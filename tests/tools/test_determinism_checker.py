@@ -1,0 +1,165 @@
+"""Determinism checker: forbidden sources fire, sanctioned seams don't."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.janalyze.checkers.determinism import DeterminismChecker
+
+
+def run(make_project, source: str):
+    project = make_project(
+        {"core.py": textwrap.dedent(source)},
+        config={"checkers": {"determinism": {"paths": ["core.py"]}}},
+    )
+    return DeterminismChecker().check(project)
+
+
+def test_time_time_call_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert len(findings) == 1
+    assert "time.time()" in findings[0].message
+
+
+def test_aliased_import_is_resolved(make_project):
+    findings = run(
+        make_project,
+        """\
+        from os import urandom as entropy
+
+        def salt():
+            return entropy(8)
+        """,
+    )
+    assert len(findings) == 1
+    assert "os.urandom" in findings[0].message
+
+
+def test_random_prefix_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        import random
+
+        def shuffle(xs):
+            random.shuffle(xs)
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_monotonic_timer_is_sanctioned(make_project):
+    findings = run(
+        make_project,
+        """\
+        import time
+
+        def elapsed(start):
+            return time.monotonic() - start
+        """,
+    )
+    assert findings == []
+
+
+def test_referencing_without_calling_is_the_injection_seam(make_project):
+    # ``now=time.time`` default parameters hand control to the caller;
+    # only *calls* inject nondeterminism.
+    findings = run(
+        make_project,
+        """\
+        import time
+
+        def run(now=time.time):
+            return now()
+        """,
+    )
+    assert findings == []
+
+
+def test_pragma_suppresses(make_project):
+    findings = run(
+        make_project,
+        """\
+        import time
+
+        def stamp():
+            # janalyze: allow-determinism cache-entry mtime, not identity
+            return time.time()
+        """,
+    )
+    assert findings == []
+
+
+def test_for_loop_over_set_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        def emit(items):
+            for item in set(items):
+                yield item
+        """,
+    )
+    assert len(findings) == 1
+    assert "set" in findings[0].message
+
+
+def test_sorted_set_is_fine(make_project):
+    findings = run(
+        make_project,
+        """\
+        def emit(items):
+            for item in sorted(set(items)):
+                yield item
+        """,
+    )
+    assert findings == []
+
+
+def test_list_conversion_of_set_literal_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        def pair(a, b):
+            return list({a, b})
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_join_over_set_comprehension_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        def render(xs):
+            return ",".join({str(x) for x in xs})
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_membership_use_of_set_is_fine(make_project):
+    findings = run(
+        make_project,
+        """\
+        def keep(xs, allowed):
+            wanted = set(allowed)
+            return [x for x in xs if x in wanted]
+        """,
+    )
+    assert findings == []
+
+
+def test_real_scope_is_clean(repo_root):
+    from tools.janalyze.config import DEFAULT_CONFIG
+    from tools.janalyze.project import Project
+
+    project = Project(root=repo_root, config=DEFAULT_CONFIG)
+    assert DeterminismChecker().check(project) == []

@@ -1,0 +1,51 @@
+"""Doc-links checker (absorbed from tools/check_docs.py)."""
+
+from __future__ import annotations
+
+from tools.janalyze.checkers.doc_links import DocLinksChecker
+
+
+def run(make_project, files):
+    project = make_project(
+        files, config={"checkers": {"doc-links": {"pages": ["docs"]}}}
+    )
+    return DocLinksChecker().check(project)
+
+
+def test_broken_relative_link_fires(make_project):
+    findings = run(
+        make_project, {"docs/index.md": "see [here](missing.md)\n"}
+    )
+    assert len(findings) == 1
+    assert "missing.md" in findings[0].message
+    assert findings[0].line == 1
+
+
+def test_resolving_link_and_anchors_are_quiet(make_project):
+    findings = run(
+        make_project,
+        {
+            "docs/index.md": (
+                "[other](other.md) [anchored](other.md#sec) "
+                "[ext](https://example.com) [frag](#local)\n"
+            ),
+            "docs/other.md": "content\n",
+        },
+    )
+    assert findings == []
+
+
+def test_directory_targets_resolve(make_project):
+    findings = run(
+        make_project,
+        {"docs/index.md": "[src](../pkg)\n", "pkg/mod.py": "x = 1\n"},
+    )
+    assert findings == []
+
+
+def test_real_docs_have_no_broken_links(repo_root):
+    from tools.janalyze.config import DEFAULT_CONFIG
+    from tools.janalyze.project import Project
+
+    project = Project(root=repo_root, config=DEFAULT_CONFIG)
+    assert DocLinksChecker().check(project) == []

@@ -1,0 +1,70 @@
+"""Finding fingerprints and the baseline grandfathering workflow."""
+
+from __future__ import annotations
+
+from tools.janalyze.findings import Baseline, Finding
+
+
+def make(line: int = 10, message: str = "boom") -> Finding:
+    return Finding(
+        checker="broad-except",
+        path="src/repro/x.py",
+        line=line,
+        message=message,
+        symbol="X.run",
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_line_renumbering(self):
+        # Baselines must survive unrelated edits above the finding.
+        assert make(line=10).fingerprint == make(line=99).fingerprint
+
+    def test_sensitive_to_message_and_location(self):
+        assert make().fingerprint != make(message="other").fingerprint
+        other_file = Finding("broad-except", "src/repro/y.py", 10, "boom")
+        assert make().fingerprint != other_file.fingerprint
+
+    def test_wire_form_carries_fingerprint(self):
+        wire = make().to_wire()
+        assert wire["fingerprint"] == make().fingerprint
+        assert wire["path"] == "src/repro/x.py"
+
+    def test_render_omits_line_zero(self):
+        project_level = Finding("wire-schema", "docs/x.md", 0, "missing")
+        assert project_level.render().startswith("docs/x.md: ")
+        assert make().render().startswith("src/repro/x.py:10: ")
+
+
+class TestBaseline:
+    def test_split_new_vs_suppressed_vs_stale(self):
+        grandfathered = make(message="old")
+        baseline = Baseline.from_findings([grandfathered, make(message="gone")])
+        new, suppressed, stale = baseline.split(
+            [grandfathered, make(message="fresh")]
+        )
+        assert [f.message for f in new] == ["fresh"]
+        assert [f.message for f in suppressed] == ["old"]
+        assert len(stale) == 1 and stale[0]["message"] == "gone"
+
+    def test_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([make()]).save(path)
+        loaded = Baseline.load(path)
+        assert make().fingerprint in loaded.entries
+        new, suppressed, stale = loaded.split([make()])
+        assert not new and not stale and len(suppressed) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+        assert Baseline.load(None).entries == {}
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        try:
+            Baseline.load(path)
+        except ValueError as exc:
+            assert "version" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")

@@ -1,0 +1,144 @@
+"""Lock-discipline checker: true positives and true negatives."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.janalyze.checkers.locks import LockDisciplineChecker
+
+
+def run(make_project, source: str):
+    project = make_project(
+        {"mod.py": textwrap.dedent(source)},
+        config={"checkers": {"lock-discipline": {"paths": ["mod.py"]}}},
+    )
+    return LockDisciplineChecker().check(project)
+
+
+CLASS_HEADER = """\
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._closed = False  # guarded-by: _lock
+"""
+
+
+def test_unlocked_access_fires(make_project):
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def poke(self):
+            return self._closed
+    """,
+    )
+    assert len(findings) == 1
+    assert "_closed" in findings[0].message
+    assert findings[0].symbol == "Pool.poke"
+
+
+def test_access_under_lock_is_quiet(make_project):
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def poke(self):
+            with self._lock:
+                return self._closed
+    """,
+    )
+    assert findings == []
+
+
+def test_init_is_exempt(make_project):
+    # CLASS_HEADER itself assigns _closed in __init__ without the lock.
+    findings = run(make_project, CLASS_HEADER)
+    assert findings == []
+
+
+def test_locked_suffix_convention_is_exempt(make_project):
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def _poke_locked(self):
+            return self._closed
+    """,
+    )
+    assert findings == []
+
+
+def test_holds_lock_pragma_exempts(make_project):
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def poke(self):  # janalyze: holds-lock _lock
+            return self._closed
+    """,
+    )
+    assert findings == []
+
+
+def test_allow_unlocked_pragma_exempts_one_access(make_project):
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def poke(self):
+            # janalyze: allow-unlocked approximate read for repr only
+            return self._closed
+    """,
+    )
+    assert findings == []
+
+
+def test_closure_resets_held_locks(make_project):
+    # A function defined inside the with-block runs later, without the
+    # lock: its access must still be flagged.
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def poke(self):
+            with self._lock:
+                def later():
+                    return self._closed
+                return later
+    """,
+    )
+    assert len(findings) == 1
+    assert findings[0].symbol == "Pool.poke.later"
+
+
+def test_write_outside_lock_fires(make_project):
+    findings = run(
+        make_project,
+        CLASS_HEADER
+        + """
+        def close(self):
+            self._closed = True
+    """,
+    )
+    assert len(findings) == 1
+    assert findings[0].symbol == "Pool.close"
+
+
+def test_unannotated_attributes_are_ignored(make_project):
+    findings = run(
+        make_project,
+        """\
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._free = 0
+
+            def poke(self):
+                return self._free
+        """,
+    )
+    assert findings == []

@@ -1,0 +1,66 @@
+"""Pragma/guard parsing and the Project source model."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.janalyze.pragmas import parse_guards, parse_pragmas
+
+
+def test_parse_pragmas_extracts_directive_and_reason():
+    lines = [
+        "x = 1",
+        "try:  # janalyze: allow-broad-except callbacks must not raise",
+        "    pass  # janalyze: allow-unlocked",
+    ]
+    pragmas = parse_pragmas(lines)
+    assert pragmas[2].directive == "allow-broad-except"
+    assert pragmas[2].reason == "callbacks must not raise"
+    assert pragmas[3].directive == "allow-unlocked"
+    assert pragmas[3].reason == ""
+    assert 1 not in pragmas
+
+
+def test_parse_guards_maps_line_to_lock():
+    lines = [
+        "self._lock = threading.Lock()",
+        "self._data = {}  # guarded-by: _lock",
+    ]
+    assert parse_guards(lines) == {2: "_lock"}
+
+
+def test_pragma_for_line_accepts_comment_block_above(make_project):
+    project = make_project(
+        {
+            "a.py": textwrap.dedent(
+                """\
+                # janalyze: allow-broad-except handler must record
+                # every failure as an error envelope
+                x = 1
+                y = 2
+                """
+            )
+        }
+    )
+    sf = project.source("a.py")
+    assert sf.pragma_for_line("allow-broad-except", 3) is not None
+    # A blank line breaks the contiguous block: line 4 is not covered
+    # via line 3's code line (only comments chain upward).
+    assert sf.pragma_for_line("allow-broad-except", 4) is None
+
+
+def test_syntax_error_is_recorded_not_raised(make_project):
+    project = make_project({"bad.py": "def broken(:\n"})
+    sf = project.source("bad.py")
+    assert sf.syntax_error is not None
+
+
+def test_python_files_skips_missing_scopes_and_pycache(make_project):
+    project = make_project(
+        {
+            "pkg/mod.py": "x = 1\n",
+            "pkg/__pycache__/mod.py": "x = 1\n",
+        }
+    )
+    rels = [sf.rel for sf in project.python_files(["pkg", "nonexistent"])]
+    assert rels == ["pkg/mod.py"]

@@ -1,0 +1,1 @@
+"""Repo tooling: static analysis (:mod:`tools.janalyze`) and doc checks."""

@@ -1,219 +1,25 @@
 #!/usr/bin/env python
-"""Documentation checks: intra-repo links + wire-schema field sync.
+"""Compatibility shim: the docs checks moved into ``tools/janalyze``.
 
-Run from the repository root (CI's ``docs`` job does)::
-
-    python tools/check_docs.py
-
-Two independent checks, both must pass:
-
-1. **Links** — every relative markdown link in ``docs/*.md`` and
-   ``README.md`` must point at a file or directory that exists (external
-   ``http(s)://`` and ``#anchor`` links are skipped; ``path#anchor``
-   forms are checked for the path part only).
-
-2. **Wire-schema sync** — ``docs/wire-schema.md`` documents every field
-   of the v1 JSON schema.  This check re-derives the field names from
-   the *source of truth* — the dict literals in
-   ``src/repro/engine/wire.py`` (attempt / assignment / spec-snapshot
-   payloads), the ``to_wire`` methods in ``src/repro/api/schema.py``,
-   the event dataclasses and ``EVENT_KINDS`` tags in
-   ``src/repro/engine/events.py``, and the ``EngineStats`` fields in
-   ``src/repro/engine/parallel.py`` — and fails if any of them is not
-   mentioned (in backticks) in the doc.  Add a field to the code without
-   documenting it and CI goes red.
-
-The sources are parsed with :mod:`ast` (never imported/executed), so
-the check needs no PYTHONPATH and cannot be fooled by import-time
-side effects.
+The link check lives in the ``doc-links`` checker and the wire-schema
+field sync (now also covering ``EVENT_KINDS`` exhaustiveness and the
+error-status table) in the ``wire-schema`` checker.  This entry point
+remains so ``python tools/check_docs.py`` keeps working for anyone's
+muscle memory; CI runs the full suite via ``python -m tools.janalyze
+--strict`` instead.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 
-#: markdown inline links: [text](target)
-_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
 
-
-# ------------------------------------------------------------------- links
-def check_links() -> list[str]:
-    errors = []
-    pages = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
-    for page in pages:
-        text = page.read_text(encoding="utf-8")
-        for target in _LINK_RE.findall(text):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
-                continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (page.parent / path).resolve()
-            if not resolved.exists():
-                errors.append(
-                    f"{page.relative_to(ROOT)}: broken link -> {target}"
-                )
-    return errors
-
-
-# ------------------------------------------------------- schema field names
-def _dict_keys_in_function(tree: ast.AST, function: str) -> set[str]:
-    """String keys of every dict literal inside one module-level function."""
-    keys: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.FunctionDef) and node.name == function:
-            for sub in ast.walk(node):
-                if isinstance(sub, ast.Dict):
-                    for key in sub.keys:
-                        if isinstance(key, ast.Constant) and isinstance(
-                            key.value, str
-                        ):
-                            keys.add(key.value)
-    return keys
-
-
-def _method_dict_keys(tree: ast.AST, cls: str, method: str) -> set[str]:
-    """Same, for a method of a class."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == cls:
-            return _dict_keys_in_function(node, method)
-    return set()
-
-
-def _dataclass_fields(tree: ast.AST, cls: str) -> set[str]:
-    """Annotated field names of one (data)class."""
-    fields: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == cls:
-            for stmt in node.body:
-                if isinstance(stmt, ast.AnnAssign) and isinstance(
-                    stmt.target, ast.Name
-                ):
-                    fields.add(stmt.target.id)
-    return fields
-
-
-def _event_kinds(tree: ast.AST) -> set[str]:
-    """The string keys of the module-level EVENT_KINDS dict literal."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.AnnAssign) and isinstance(
-            node.target, ast.Name
-        ) and node.target.id == "EVENT_KINDS" and isinstance(
-            node.value, ast.Dict
-        ):
-            return {
-                key.value
-                for key in node.value.keys
-                if isinstance(key, ast.Constant)
-            }
-    return set()
-
-
-def expected_fields() -> dict[str, set[str]]:
-    """``{source label: field names}`` re-derived from the code."""
-    wire = ast.parse(
-        (ROOT / "src/repro/engine/wire.py").read_text(encoding="utf-8")
-    )
-    schema = ast.parse(
-        (ROOT / "src/repro/api/schema.py").read_text(encoding="utf-8")
-    )
-    events = ast.parse(
-        (ROOT / "src/repro/engine/events.py").read_text(encoding="utf-8")
-    )
-    parallel = ast.parse(
-        (ROOT / "src/repro/engine/parallel.py").read_text(encoding="utf-8")
-    )
-
-    event_fields: set[str] = set()
-    for cls in (
-        "EngineEvent",
-        "ProbeStarted",
-        "ProbeFinished",
-        "BoundComputed",
-        "CacheEvent",
-        "SynthesisStarted",
-        "SynthesisFinished",
-    ):
-        event_fields |= _dataclass_fields(events, cls)
-
-    return {
-        "engine/wire.py attempt_to_wire": _dict_keys_in_function(
-            wire, "attempt_to_wire"
-        ),
-        "engine/wire.py assignment_to_wire": _dict_keys_in_function(
-            wire, "assignment_to_wire"
-        ),
-        "engine/wire.py spec_snapshot": _dict_keys_in_function(
-            wire, "spec_snapshot"
-        ),
-        "api/schema.py RequestOptions.to_wire": _method_dict_keys(
-            schema, "RequestOptions", "to_wire"
-        ),
-        "api/schema.py SynthesisRequest.to_wire": _method_dict_keys(
-            schema, "SynthesisRequest", "to_wire"
-        ),
-        "api/schema.py SynthesisResponse.to_wire": _method_dict_keys(
-            schema, "SynthesisResponse", "to_wire"
-        ),
-        "api/schema.py BatchRequest.to_wire": _method_dict_keys(
-            schema, "BatchRequest", "to_wire"
-        ),
-        "api/schema.py BatchResponse.to_wire": _method_dict_keys(
-            schema, "BatchResponse", "to_wire"
-        ),
-        "engine/events.py EVENT_KINDS": _event_kinds(events),
-        "engine/events.py event fields": event_fields,
-        "engine/parallel.py EngineStats": _dataclass_fields(
-            parallel, "EngineStats"
-        ),
-    }
-
-
-def check_wire_schema_doc() -> list[str]:
-    doc = (ROOT / "docs" / "wire-schema.md").read_text(encoding="utf-8")
-    # Whole-word harvest over the page (tables, prose and JSON examples
-    # alike): a field counts as documented when its exact name appears
-    # anywhere.  That is deliberately lenient about *where* — the gate
-    # this check provides is "nobody adds a wire field without touching
-    # the doc", not prose quality.
-    documented = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", doc))
-
-    errors = []
-    for source, fields in sorted(expected_fields().items()):
-        if not fields:
-            errors.append(
-                f"wire-schema sync: found no fields in {source} — "
-                "the checker's parser is out of date"
-            )
-            continue
-        for field in sorted(fields):
-            if field not in documented:
-                errors.append(
-                    f"wire-schema sync: {source} field {field!r} is not "
-                    "documented in docs/wire-schema.md"
-                )
-    return errors
-
-
-def main() -> int:
-    errors = check_links() + check_wire_schema_doc()
-    if errors:
-        for error in errors:
-            print(f"FAIL: {error}", file=sys.stderr)
-        return 1
-    sources = expected_fields()
-    total = sum(len(v) for v in sources.values())
-    print(
-        f"docs OK: links verified, {total} wire-schema fields from "
-        f"{len(sources)} sources all documented"
-    )
-    return 0
-
+from tools.janalyze.runner import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    sys.exit(main(["--only", "doc-links,wire-schema", *sys.argv[1:]]))

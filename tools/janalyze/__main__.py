@@ -1,0 +1,6 @@
+"""``python -m tools.janalyze`` — the CI entry point."""
+
+from tools.janalyze.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Checker registry.
+
+Adding a checker: subclass :class:`~tools.janalyze.checkers.base.Checker`
+in a new module here, give it a unique ``name``, and append it to
+:data:`ALL_CHECKERS`.  See ``docs/static-analysis.md`` for the full
+walkthrough (config, fixtures, baseline interplay).
+"""
+
+from __future__ import annotations
+
+from tools.janalyze.checkers.base import Checker
+from tools.janalyze.checkers.broad_except import BroadExceptChecker
+from tools.janalyze.checkers.determinism import DeterminismChecker
+from tools.janalyze.checkers.doc_links import DocLinksChecker
+from tools.janalyze.checkers.locks import LockDisciplineChecker
+from tools.janalyze.checkers.pickles import PickleBoundaryChecker
+from tools.janalyze.checkers.wire_schema import WireSchemaChecker
+
+__all__ = ["ALL_CHECKERS", "Checker", "checker_by_name"]
+
+#: Every registered checker, in report order.
+ALL_CHECKERS: list[type[Checker]] = [
+    LockDisciplineChecker,
+    DeterminismChecker,
+    PickleBoundaryChecker,
+    WireSchemaChecker,
+    BroadExceptChecker,
+    DocLinksChecker,
+]
+
+
+def checker_by_name(name: str) -> type[Checker]:
+    for cls in ALL_CHECKERS:
+        if cls.name == name:
+            return cls
+    known = ", ".join(cls.name for cls in ALL_CHECKERS)
+    raise KeyError(f"unknown checker {name!r} (known: {known})")

@@ -1,0 +1,109 @@
+"""Checker interface and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.janalyze.findings import Finding
+from tools.janalyze.project import Project, SourceFile
+
+__all__ = [
+    "Checker",
+    "dotted_name",
+    "import_aliases",
+    "iter_class_functions",
+    "self_attr",
+]
+
+
+class Checker:
+    """One analysis pass.  Subclasses set ``name``/``description`` and
+    implement :meth:`check`."""
+
+    #: Stable checker id (also the ``--only`` and baseline key).
+    name: str = ""
+    #: One-line summary shown by ``--list``.
+    description: str = ""
+
+    def check(self, project: Project) -> list[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- utilities
+    def scoped_files(
+        self, project: Project, default_paths: list[str]
+    ) -> Iterator[SourceFile]:
+        paths = self.config(project).get("paths", default_paths)
+        for sf in project.python_files(paths):
+            if sf.syntax_error is None:
+                yield sf
+
+    def config(self, project: Project) -> dict:
+        return project.checker_config(self.name)
+
+    def finding(
+        self, sf: SourceFile, node: ast.AST, message: str, symbol: str = ""
+    ) -> Finding:
+        return Finding(
+            checker=self.name,
+            path=sf.rel,
+            line=getattr(node, "lineno", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin for every import in the module.
+
+    ``import time`` -> ``{"time": "time"}``; ``import numpy as np`` ->
+    ``{"np": "numpy"}``; ``from os import urandom as rnd`` ->
+    ``{"rnd": "os.urandom"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def iter_class_functions(
+    cls: ast.ClassDef,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Methods defined directly in the class body."""
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when ``node`` is ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

@@ -1,0 +1,92 @@
+"""Broad-except audit: ``except Exception`` needs a justified pragma.
+
+Swallowing ``Exception`` (or everything, with a bare ``except:``) hides
+bugs in exactly the code this repo stakes its correctness on — silent
+fallbacks in the byte-identity paths would *mask* divergence instead of
+surfacing it.  Each broad handler must either narrow its exception list
+or carry ``# janalyze: allow-broad-except <reason>`` on the ``except``
+line; a pragma without a reason is itself a finding.
+
+``except BaseException`` is treated the same (it is broader still); a
+re-``raise`` inside the handler body exempts the site, since the
+exception keeps propagating.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.janalyze.checkers.base import Checker
+from tools.janalyze.findings import Finding
+from tools.janalyze.project import Project
+
+__all__ = ["BroadExceptChecker"]
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in BROAD_NAMES
+    if isinstance(handler.type, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in BROAD_NAMES
+            for el in handler.type.elts
+        )
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises the caught exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+class BroadExceptChecker(Checker):
+    name = "broad-except"
+    description = (
+        "'except Exception' requires '# janalyze: allow-broad-except "
+        "<reason>' (or a narrower exception list)"
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for sf in self.scoped_files(project, ["src/repro"]):
+            for node in ast.walk(sf.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_broad(node) or _reraises(node):
+                    continue
+                # The pragma may sit on the except line or in the comment
+                # block above it (long justifications read better there).
+                pragma = sf.pragma_for_line(
+                    "allow-broad-except", node.lineno
+                )
+                if pragma is None:
+                    what = (
+                        "bare 'except:'"
+                        if node.type is None
+                        else "'except Exception'"
+                    )
+                    findings.append(
+                        self.finding(
+                            sf, node,
+                            f"{what} without '# janalyze: "
+                            "allow-broad-except <reason>' — narrow it or "
+                            "justify it",
+                        )
+                    )
+                elif not pragma.reason:
+                    findings.append(
+                        self.finding(
+                            sf, node,
+                            "allow-broad-except pragma has no reason — "
+                            "an unexplained suppression is not a "
+                            "justification",
+                        )
+                    )
+        return findings

@@ -1,0 +1,234 @@
+"""Lock discipline: guarded attributes must be accessed under their lock.
+
+An attribute assignment annotated ``# guarded-by: <lock>`` (anywhere in
+the class, conventionally in ``__init__``) declares the invariant: every
+read or write of ``self.<attr>`` **in the owning class** must happen
+lexically inside ``with self.<lock>:``.
+
+Exemptions, in the order they are checked:
+
+* ``__init__`` — construction happens-before sharing.
+* Methods named ``*_locked`` — the repo convention for "caller holds the
+  lock"; the checker additionally verifies such helpers are only invoked
+  from lines inside a ``with`` block or from other exempt methods when
+  they are called via ``self``.
+* A ``# janalyze: holds-lock <lock>`` pragma on the ``def`` line.
+* A ``# janalyze: allow-unlocked <reason>`` pragma on the access line.
+
+Nested functions (closures) start with **no** locks held even when
+defined inside a ``with`` block: a closure typically runs later, on
+another thread, after the lock was dropped.
+
+The analysis is lexical, not a happens-before proof — it cannot see
+through aliasing (``lock = self._lock``) or cross-object access
+(``other._attr``).  It is a tripwire for the common regression: touching
+shared state in a new method and forgetting the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from tools.janalyze.checkers.base import (
+    Checker,
+    iter_class_functions,
+    self_attr,
+)
+from tools.janalyze.findings import Finding
+from tools.janalyze.project import Project, SourceFile
+
+__all__ = ["LockDisciplineChecker"]
+
+#: Sentinel "all locks held" for ``*_locked`` helpers.
+ALL_LOCKS = "*"
+
+
+def _guard_map(sf: SourceFile, cls: ast.ClassDef) -> dict[str, str]:
+    """attr -> lock from ``# guarded-by:`` comments on self-assignments."""
+    guards: dict[str, str] = {}
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            attr = self_attr(target)
+            if attr is None:
+                continue
+            for lineno in range(
+                node.lineno, getattr(node, "end_lineno", node.lineno) + 1
+            ):
+                lock = sf.guards.get(lineno)
+                if lock is not None:
+                    guards[attr] = lock
+    return guards
+
+
+def _with_locks(stmt: ast.With, lock_names: set[str]) -> set[str]:
+    """Locks among ``lock_names`` entered by this ``with`` statement."""
+    held = set()
+    for item in stmt.items:
+        attr = self_attr(item.context_expr)
+        if attr in lock_names:
+            held.add(attr)
+    return held
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = (
+        "reads/writes of '# guarded-by:' annotated attributes must sit "
+        "inside 'with self.<lock>:' in the owning class"
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for sf in self.scoped_files(project, ["src/repro"]):
+            if not sf.guards:
+                continue  # no annotations, nothing to enforce
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_class(sf, node))
+        return findings
+
+    # ----------------------------------------------------------- class level
+    def _check_class(
+        self, sf: SourceFile, cls: ast.ClassDef
+    ) -> list[Finding]:
+        guards = _guard_map(sf, cls)
+        if not guards:
+            return []
+        lock_names = set(guards.values())
+        findings: list[Finding] = []
+        for fn in iter_class_functions(cls):
+            if fn.name == "__init__":
+                continue
+            held = self._initial_locks(sf, fn, lock_names)
+            symbol = f"{cls.name}.{fn.name}"
+            self._walk(sf, fn.body, guards, held, symbol, findings)
+        return findings
+
+    def _initial_locks(
+        self,
+        sf: SourceFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        lock_names: set[str],
+    ) -> set[str]:
+        if fn.name.endswith("_locked"):
+            return {ALL_LOCKS}
+        pragma = sf.pragma_in_range(
+            "holds-lock", fn.lineno, fn.body[0].lineno - 1 if fn.body else None
+        )
+        if pragma is not None:
+            return {ALL_LOCKS} if pragma.reason == "" else {pragma.reason}
+        return set()
+
+    # ------------------------------------------------------- statement walk
+    def _walk(
+        self,
+        sf: SourceFile,
+        stmts: list[ast.stmt],
+        guards: dict[str, str],
+        held: set[str],
+        symbol: str,
+        findings: list[Finding],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A closure runs later: locks held at def time don't count.
+                inner = self._initial_locks(sf, stmt, set(guards.values()))
+                self._walk(
+                    sf, stmt.body, guards, inner,
+                    f"{symbol}.{stmt.name}", findings,
+                )
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                entered = _with_locks(stmt, set(guards.values()))
+                for item in stmt.items:
+                    self._check_expr(
+                        sf, item.context_expr, guards, held, symbol, findings,
+                        skip_locks=True,
+                    )
+                self._walk(
+                    sf, stmt.body, guards, held | entered, symbol, findings
+                )
+                continue
+            # Generic statement: check embedded expressions, then recurse
+            # into compound-statement bodies with the same held set.
+            for expr in _statement_expressions(stmt):
+                self._check_expr(sf, expr, guards, held, symbol, findings)
+            for body in _statement_bodies(stmt):
+                self._walk(sf, body, guards, held, symbol, findings)
+
+    def _check_expr(
+        self,
+        sf: SourceFile,
+        expr: ast.AST,
+        guards: dict[str, str],
+        held: set[str],
+        symbol: str,
+        findings: list[Finding],
+        skip_locks: bool = False,
+    ) -> None:
+        for node in ast.walk(expr):
+            attr = self_attr(node)
+            if attr is None or attr not in guards:
+                continue
+            if skip_locks and attr in set(guards.values()):
+                continue
+            lock = guards[attr]
+            if lock in held or ALL_LOCKS in held:
+                continue
+            if self._allowed(sf, node):
+                continue
+            findings.append(
+                self.finding(
+                    sf,
+                    node,
+                    f"access to '{attr}' (guarded-by: {lock}) outside "
+                    f"'with self.{lock}:'",
+                    symbol,
+                )
+            )
+
+    def _allowed(self, sf: SourceFile, node: ast.AST) -> bool:
+        # Accepted on the access line(s) or the comment block above.
+        return (
+            sf.pragma_for_line(
+                "allow-unlocked",
+                node.lineno,
+                getattr(node, "end_lineno", node.lineno),
+            )
+            is not None
+        )
+
+
+def _statement_expressions(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression parts of a statement, excluding nested bodies."""
+    exprs: list[ast.AST] = []
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.expr))
+    return exprs
+
+
+def _statement_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Nested statement lists of a compound statement."""
+    bodies: list[list[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and value and isinstance(
+            value[0], ast.stmt
+        ):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies

@@ -1,0 +1,108 @@
+"""Findings, fingerprints and the baseline file.
+
+A :class:`Finding` is one checker hit: a location plus a message.  Its
+*fingerprint* deliberately excludes the line number — baselines must
+survive unrelated edits that renumber a file — and hashes the checker
+id, the repo-relative path, the enclosing symbol (``Class.method`` where
+the checker knows it) and the message text.
+
+The baseline file grandfathers known findings: entries are fingerprints
+plus a human-readable echo of the finding they suppress.  ``--strict``
+additionally fails when a baseline entry no longer matches anything —
+a stale suppression is a lie about the codebase and must be pruned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["Finding", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis hit."""
+
+    checker: str  # checker id, e.g. "lock-discipline"
+    path: str  # repo-relative posix path
+    line: int  # 1-based; 0 when the finding is file- or project-level
+    message: str
+    symbol: str = ""  # "Class.method" / "function" context when known
+
+    @property
+    def fingerprint(self) -> str:
+        raw = "\x1f".join((self.checker, self.path, self.symbol, self.message))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        context = f" ({self.symbol})" if self.symbol else ""
+        return f"{where}: [{self.checker}] {self.message}{context}"
+
+    def to_wire(self) -> dict:
+        wire = asdict(self)
+        wire["fingerprint"] = self.fingerprint
+        return wire
+
+
+@dataclass
+class Baseline:
+    """Grandfathered fingerprints loaded from / saved to JSON."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        return cls(
+            entries={e["fingerprint"]: e for e in payload.get("findings", [])}
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries={f.fingerprint: f.to_wire() for f in findings})
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda e: (e.get("path", ""), e.get("fingerprint", "")),
+            ),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """``(new, suppressed, stale_entries)`` for one run's findings."""
+        seen: set[str] = set()
+        new, suppressed = [], []
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                seen.add(finding.fingerprint)
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in seen
+        ]
+        return new, suppressed, stale

@@ -1,0 +1,77 @@
+"""Source-comment pragmas understood by janalyze.
+
+Two comment grammars, both line-anchored (a pragma applies to the
+statement whose source range covers its line):
+
+``# guarded-by: <lock>``
+    On an attribute assignment inside a class (conventionally in
+    ``__init__``): declares that every read/write of that attribute in
+    the owning class must happen inside ``with self.<lock>:``.
+
+``# janalyze: <directive> [reason...]``
+    Checker escape hatches, written on the flagged line or anywhere in
+    the contiguous comment block directly above it (long justifications
+    read better as their own comment).  Every ``allow-*`` directive
+    **requires** a reason — an unexplained suppression is itself a
+    finding:
+
+    * ``allow-broad-except <reason>`` — permits ``except Exception`` /
+      bare ``except`` on this line.
+    * ``allow-unlocked <reason>`` — permits one access to a guarded
+      attribute outside its lock.
+    * ``allow-determinism <reason>`` — permits a forbidden
+      nondeterminism source on this line.
+    * ``allow-pickle <reason>`` — exempts a class from the
+      pickle-boundary rules.
+    * ``holds-lock <lock>`` — on a ``def`` line: the method is only
+      ever called with ``<lock>`` already held (the ``*_locked`` naming
+      convention implies the same for every lock).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Pragma", "parse_pragmas", "parse_guards", "PRAGMA_DIRECTIVES"]
+
+_PRAGMA_RE = re.compile(r"#\s*janalyze:\s*([a-z-]+)(?:\s+(.*?))?\s*$")
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+PRAGMA_DIRECTIVES = frozenset(
+    {
+        "allow-broad-except",
+        "allow-unlocked",
+        "allow-determinism",
+        "allow-pickle",
+        "holds-lock",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    line: int
+    directive: str
+    reason: str  # free text; the lock name for holds-lock
+
+
+def parse_pragmas(lines: list[str]) -> dict[int, Pragma]:
+    """``{line: pragma}`` for every ``# janalyze:`` comment (1-based)."""
+    pragmas: dict[int, Pragma] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            directive, reason = match.group(1), match.group(2) or ""
+            pragmas[lineno] = Pragma(lineno, directive, reason.strip())
+    return pragmas
+
+
+def parse_guards(lines: list[str]) -> dict[int, str]:
+    """``{line: lock name}`` for every ``# guarded-by:`` comment."""
+    guards: dict[int, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _GUARD_RE.search(text)
+        if match:
+            guards[lineno] = match.group(1)
+    return guards

@@ -1,0 +1,133 @@
+"""The project model: a source tree parsed once, shared by all checkers.
+
+Everything is derived from text + :mod:`ast`; project code is **never
+imported or executed**, so janalyze needs no PYTHONPATH, no third-party
+dependencies, and cannot be fooled by import-time side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from typing import Iterator, Optional
+
+from tools.janalyze.pragmas import Pragma, parse_guards, parse_pragmas
+
+__all__ = ["SourceFile", "Project"]
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file."""
+
+    rel: str  # repo-relative posix path
+    text: str
+    syntax_error: Optional[str] = None
+
+    @cached_property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    @cached_property
+    def tree(self) -> ast.Module:
+        return ast.parse(self.text)
+
+    @cached_property
+    def pragmas(self) -> dict[int, Pragma]:
+        return parse_pragmas(self.lines)
+
+    @cached_property
+    def guards(self) -> dict[int, str]:
+        return parse_guards(self.lines)
+
+    def pragma_in_range(
+        self, directive: str, first: int, last: Optional[int]
+    ) -> Optional[Pragma]:
+        """The first ``directive`` pragma on lines ``first..last``."""
+        for lineno in range(first, (last or first) + 1):
+            pragma = self.pragmas.get(lineno)
+            if pragma is not None and pragma.directive == directive:
+                return pragma
+        return None
+
+    def statement_pragma(
+        self, directive: str, node: ast.AST
+    ) -> Optional[Pragma]:
+        """``directive`` pragma anywhere in ``node``'s source range."""
+        return self.pragma_in_range(
+            directive, node.lineno, getattr(node, "end_lineno", node.lineno)
+        )
+
+    def pragma_for_line(
+        self, directive: str, first: int, last: Optional[int] = None
+    ) -> Optional[Pragma]:
+        """Pragma on lines ``first..last`` or in the contiguous comment
+        block directly above ``first`` (multi-line justifications)."""
+        pragma = self.pragma_in_range(directive, first, last)
+        if pragma is not None:
+            return pragma
+        lineno = first - 1
+        while 1 <= lineno <= len(self.lines):
+            if not self.lines[lineno - 1].strip().startswith("#"):
+                break
+            pragma = self.pragmas.get(lineno)
+            if pragma is not None and pragma.directive == directive:
+                return pragma
+            lineno -= 1
+        return None
+
+
+@dataclass
+class Project:
+    """A source tree rooted at ``root``, with per-checker config."""
+
+    root: Path
+    config: dict = field(default_factory=dict)
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def checker_config(self, name: str) -> dict:
+        return self.config.get("checkers", {}).get(name, {})
+
+    # ------------------------------------------------------------------ files
+    def exists(self, rel: str) -> bool:
+        return (self.root / rel).exists()
+
+    def read(self, rel: str) -> str:
+        return (self.root / rel).read_text(encoding="utf-8")
+
+    def source(self, rel: str) -> SourceFile:
+        """The parsed source file at ``rel`` (cached)."""
+        cached = self._cache.get(rel)
+        if cached is not None:
+            return cached
+        sf = SourceFile(rel=rel, text=self.read(rel))
+        try:
+            sf.tree  # parse eagerly; checkers must skip files that fail
+        except SyntaxError as exc:
+            sf.syntax_error = f"line {exc.lineno}: {exc.msg}"
+        self._cache[rel] = sf
+        return sf
+
+    def python_files(self, scopes: list[str]) -> Iterator[SourceFile]:
+        """Parsed sources under the given paths (files or directories).
+
+        Scopes are repo-relative; missing ones are skipped silently so
+        one config serves both the real repo and test fixtures.
+        """
+        seen: set[str] = set()
+        for scope in scopes:
+            base = self.root / scope
+            if base.is_file():
+                candidates = [base]
+            elif base.is_dir():
+                candidates = sorted(base.rglob("*.py"))
+            else:
+                continue
+            for path in candidates:
+                rel = path.relative_to(self.root).as_posix()
+                if rel in seen or "__pycache__" in rel:
+                    continue
+                seen.add(rel)
+                yield self.source(rel)

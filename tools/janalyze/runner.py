@@ -1,0 +1,178 @@
+"""Run the checkers, apply the baseline, format the report.
+
+Exit codes (CI gates on them):
+
+* ``0`` — clean: zero non-baselined findings (and, under ``--strict``,
+  zero stale baseline entries).
+* ``1`` — findings (or stale baseline entries under ``--strict``).
+* ``2`` — usage or configuration error (unknown checker, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from tools.janalyze.checkers import ALL_CHECKERS, checker_by_name
+from tools.janalyze.config import DEFAULT_CONFIG, default_baseline_path
+from tools.janalyze.findings import Baseline, Finding
+from tools.janalyze.project import Project
+
+__all__ = ["main", "run", "build_parser", "find_repo_root"]
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Walk up from ``start`` (default: this file) to the repo root —
+    the directory containing ``tools/janalyze``."""
+    here = (start or Path(__file__).resolve()).resolve()
+    for candidate in [here, *here.parents]:
+        if (candidate / "tools" / "janalyze" / "__init__.py").is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"no tools/janalyze found above {start or Path(__file__)}"
+    )
+
+
+def run(
+    project: Project, only: Optional[Sequence[str]] = None
+) -> list[Finding]:
+    """All findings from the selected checkers, plus parse failures."""
+    names = list(only) if only else [cls.name for cls in ALL_CHECKERS]
+    findings: list[Finding] = []
+    for name in names:
+        checker = checker_by_name(name)()
+        findings.extend(checker.check(project))
+    # Surface files the checkers had to skip: a syntax error in scope
+    # means the analysis was incomplete, which must not pass silently.
+    for sf in project._cache.values():
+        if sf.syntax_error is not None:
+            findings.append(
+                Finding(
+                    "parse", sf.rel, 0,
+                    f"file could not be parsed ({sf.syntax_error}); "
+                    "checkers skipped it",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.checker, f.message))
+    return findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="janalyze",
+        description="repo-specific static analysis (also: janus lint)",
+    )
+    parser.add_argument(
+        "--root", default=None, help="repo root (default: auto-detected)"
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated checker names to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: tools/janalyze/baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (CI mode)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered checkers"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for cls in ALL_CHECKERS:
+            print(f"{cls.name:18} {cls.description}")
+        return 0
+
+    try:
+        root = (
+            Path(args.root).resolve() if args.root else find_repo_root()
+        )
+    except FileNotFoundError as exc:
+        print(f"janalyze: error: {exc}", file=sys.stderr)
+        return 2
+    project = Project(root=root, config=DEFAULT_CONFIG)
+
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        try:
+            for name in only:
+                checker_by_name(name)
+        except KeyError as exc:
+            print(f"janalyze: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    findings = run(project, only=only)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path(root)
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"janalyze: wrote {len(findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    try:
+        baseline = Baseline.load(
+            baseline_path if baseline_path.exists() else None
+        )
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"janalyze: error: bad baseline: {exc}", file=sys.stderr)
+        return 2
+    new, suppressed, stale = baseline.split(findings)
+
+    failed = bool(new) or (args.strict and bool(stale))
+    if args.json:
+        report = {
+            "version": 1,
+            "root": str(root),
+            "checkers": only or [cls.name for cls in ALL_CHECKERS],
+            "findings": [f.to_wire() for f in new],
+            "baselined": len(suppressed),
+            "stale_baseline": stale,
+            "ok": not failed,
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if failed else 0
+
+    for finding in new:
+        print(f"FAIL: {finding.render()}")
+    if args.strict:
+        for entry in stale:
+            print(
+                "STALE: baseline entry no longer fires — prune it: "
+                f"{entry.get('path')}: [{entry.get('checker')}] "
+                f"{entry.get('message')}"
+            )
+    ran = only or [cls.name for cls in ALL_CHECKERS]
+    summary = (
+        f"janalyze: {len(new)} finding(s), {len(suppressed)} baselined, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+        f"across {len(ran)} checker(s)"
+    )
+    print(summary, file=sys.stderr if failed else sys.stdout)
+    return 1 if failed else 0
