@@ -19,7 +19,7 @@ from typing import Optional
 from repro.errors import EncodingError
 from repro.aig.graph import Aig, AigLit
 from repro.sat.cnf import Cnf, VarPool
-from repro.sat.solver import CdclSolver
+from repro.sat.solver import CdclSolver, SolverConfig
 
 __all__ = ["tseitin", "miter", "equivalent_sat"]
 
@@ -88,16 +88,20 @@ def equivalent_sat(
     f: AigLit,
     g: AigLit,
     max_conflicts: Optional[int] = None,
+    config: Optional[SolverConfig] = None,
 ) -> tuple[bool, Optional[int]]:
     """Decide ``f == g`` by SAT.  Returns ``(equivalent, counterexample)``.
 
     The counterexample is a minterm where the outputs differ (``None``
     when equivalent).  Raises :class:`~repro.errors.EncodingError` if the
     solver's conflict budget runs out — equivalence checking must never
-    silently guess.
+    silently guess.  ``config`` tunes the CDCL solver; an explicit
+    ``max_conflicts`` overrides the config's budget.
     """
     cnf, var_map = miter(aig, f, g)
-    solver = CdclSolver(max_conflicts=max_conflicts)
+    solver = CdclSolver(config=config) if max_conflicts is None else (
+        CdclSolver(max_conflicts=max_conflicts, config=config)
+    )
     ok = True
     for clause in cnf:
         ok = solver.add_clause(clause) and ok

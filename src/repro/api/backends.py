@@ -12,7 +12,8 @@ name         algorithm
 ``janus``    the paper's dichotomic search (alias ``eager``); uses the
              session's engine for probe racing / caching when available
 ``cegar``    the same search with the lazy CEGAR prober per LM instance
-``portfolio``  JANUS with the eager-vs-CEGAR race inside every probe
+``portfolio``  JANUS racing solver presets and the CEGAR encoder
+             inside every probe (first decisive answer wins)
 ``exact``    exact method of Gange et al. [6] (plain encoding, old bounds)
 ``approx``   approximate method of [6] (single-product path restriction)
 ``heuristic``  shape heuristic of Morgul & Altun [11]
@@ -42,7 +43,8 @@ from repro.core.janus import (
     synthesize as _synthesize,
 )
 from repro.core.target import TargetSpec
-from repro.errors import UnknownBackendError, ValidationError
+from repro.errors import SolverError, UnknownBackendError, ValidationError
+from repro.sat.solver import SolverConfig
 
 __all__ = [
     "Backend",
@@ -52,7 +54,33 @@ __all__ = [
     "register_backend",
     "get_backend",
     "backend_names",
+    "resolve_solver_config",
 ]
+
+
+def resolve_solver_config(
+    value: "str | SolverConfig | None",
+) -> SolverConfig:
+    """Coerce a preset name or config object to a :class:`SolverConfig`.
+
+    The shared coercion point for every frontend knob (session
+    ``solver_configs``, the server's ``?preset=``, the CLI's
+    ``--solver-preset``): unknown preset names and wrong types surface as
+    :class:`ValidationError`, the API's input-error type.
+    """
+    if value is None:
+        return SolverConfig()
+    if isinstance(value, SolverConfig):
+        return value
+    if isinstance(value, str):
+        try:
+            return SolverConfig.preset(value)
+        except SolverError as exc:
+            raise ValidationError(str(exc)) from exc
+    raise ValidationError(
+        f"solver config must be a SolverConfig or preset name, "
+        f"got {type(value).__name__}"
+    )
 
 
 @dataclass
@@ -147,13 +175,15 @@ class _CegarBackend:
 
 
 class _PortfolioBackend:
-    """JANUS with the eager-vs-lazy race inside every probe.
+    """JANUS racing solver presets and the lazy encoder in every probe.
 
-    Needs a portfolio-configured engine (two workers racing per LM
-    instance), which the session provides on demand.  Valid answers may
-    come from either encoder, so results need not match the
-    deterministic ``janus`` lattice — callers choose this backend for
-    wall-clock, not reproducibility.
+    Needs a portfolio-configured engine (workers racing the eager
+    encoding under each configured :class:`SolverConfig` preset plus the
+    CEGAR backend per LM instance), which the session provides on
+    demand.  Valid answers may come from any racer, so results need not
+    match the deterministic ``janus`` lattice — callers choose this
+    backend for wall-clock, not reproducibility.  Per-preset win counts
+    accumulate in ``EngineStats.preset_wins``.
     """
 
     name = "portfolio"

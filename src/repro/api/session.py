@@ -26,12 +26,13 @@ from __future__ import annotations
 import dataclasses
 import time
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.api.backends import (
     REGISTRY,
     BackendContext,
     BackendRegistry,
+    resolve_solver_config,
 )
 from repro.api.schema import (
     BatchRequest,
@@ -44,6 +45,7 @@ from repro.api.schema import (
 from repro.core.target import TargetSpec
 from repro.engine.events import EngineEvent
 from repro.engine.parallel import EngineStats, ParallelEngine, default_jobs
+from repro.sat.solver import SolverConfig
 
 __all__ = ["Session", "synthesize", "run_batch"]
 
@@ -74,6 +76,10 @@ class Session:
         events: Optional[Callable[[EngineEvent], None]] = None,
         registry: Optional[BackendRegistry] = None,
         npn: bool = False,
+        presets: Optional[Sequence[str]] = None,
+        solver_configs: Optional[
+            dict[str, Union[str, SolverConfig]]
+        ] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs == 0 else max(1, int(jobs))
         self.cache = str(cache) if cache is not None else None
@@ -81,6 +87,15 @@ class Session:
         self.speculate = speculate
         self.memory = memory
         self.npn = npn
+        # ``presets`` is the list the portfolio engine races; unset means
+        # the engine default.  ``solver_configs`` maps backend name ->
+        # SolverConfig (or preset name) applied to requests that carry no
+        # explicit solver_config of their own.
+        self.presets = tuple(presets) if presets is not None else None
+        self.solver_configs: dict[str, SolverConfig] = {
+            backend: resolve_solver_config(value)
+            for backend, value in (solver_configs or {}).items()
+        }
         self.registry = registry if registry is not None else REGISTRY
         self._callbacks: list[Callable[[EngineEvent], None]] = (
             [events] if events is not None else []
@@ -122,6 +137,7 @@ class Session:
             speculate=self.speculate,
             memory=self.memory,
             npn=self.npn,
+            presets=self.presets,
         )
         for callback in self._callbacks:
             engine.events.subscribe(callback)
@@ -179,9 +195,26 @@ class Session:
         return total
 
     def _stats_delta(self, before: dict) -> dict:
-        """Stats accumulated since a ``dataclasses.asdict`` snapshot."""
+        """Stats accumulated since a ``dataclasses.asdict`` snapshot.
+
+        Dict-valued fields (``preset_wins``) delta per key; keys whose
+        delta is zero are dropped so a request that raced nothing shows
+        an empty tally, not a tally of zeroes.
+        """
         after = dataclasses.asdict(self.stats)
-        return {k: after[k] - before.get(k, 0) for k in after}
+        delta: dict = {}
+        for k, value in after.items():
+            if isinstance(value, dict):
+                prior = before.get(k) or {}
+                diff = {
+                    key: count - prior.get(key, 0)
+                    for key, count in value.items()
+                    if count - prior.get(key, 0)
+                }
+                delta[k] = diff
+            else:
+                delta[k] = value - before.get(k, 0)
+        return delta
 
     # ------------------------------------------------------------ execution
     def _coerce_request(
@@ -212,6 +245,18 @@ class Session:
         self, request: SynthesisRequest, spec: Optional[TargetSpec] = None
     ) -> SynthesisResponse:
         backend = self.registry.get(request.backend)
+        # Per-backend session tuning applies only when the request does
+        # not pin its own solver_config — explicit request tuning wins.
+        session_config = self.solver_configs.get(request.backend)
+        if session_config is not None and (
+            request.options.solver_config is None
+        ):
+            request = dataclasses.replace(
+                request,
+                options=dataclasses.replace(
+                    request.options, solver_config=session_config
+                ),
+            )
         if spec is None:
             spec = request.to_spec()
         context = BackendContext(

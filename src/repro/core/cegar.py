@@ -40,7 +40,7 @@ from repro.lattice.assignment import CONST0, CONST1, Entry, LatticeAssignment
 from repro.lattice.paths import top_bottom_paths
 from repro.sat.cnf import Cnf
 from repro.sat.encodings import exactly_one
-from repro.sat.solver import CdclSolver
+from repro.sat.solver import CdclSolver, SolverConfig
 
 __all__ = ["CegarStats", "CegarOutcome", "solve_lm_cegar", "solve_lm_lazy"]
 
@@ -78,13 +78,16 @@ def solve_lm_cegar(
     max_conflicts: Optional[int] = 200_000,
     max_iterations: Optional[int] = None,
     max_time: Optional[float] = None,
+    config: Optional[SolverConfig] = None,
 ) -> CegarOutcome:
     """Decide the LM instance lazily; see the module docstring.
 
     ``max_conflicts`` budgets each incremental solver call and ``max_time``
     caps the whole refinement loop (checked between iterations and passed
     through to the solver) — the per-worker budgets the parallel engine
-    relies on to keep portfolio losers from running away.
+    relies on to keep portfolio losers from running away.  ``config``
+    tunes the underlying CDCL solver; the explicit budgets here still
+    override any the config carries.
     """
     start = time.monotonic()
     stats = CegarStats()
@@ -119,7 +122,9 @@ def solve_lm_cegar(
             method=options.eo_method,
         )
 
-    solver = CdclSolver(max_conflicts=max_conflicts, max_time=max_time)
+    solver = CdclSolver(
+        max_conflicts=max_conflicts, max_time=max_time, config=config
+    )
     fed = 0
 
     def feed() -> bool:
@@ -268,6 +273,7 @@ def solve_lm_lazy(spec: TargetSpec, rows: int, cols: int, options=None):
         enc_options,
         max_conflicts=options.max_conflicts,
         max_time=options.lm_time_limit,
+        config=options.solver,
     )
     attempt.status = outcome.status
     attempt.wall_time = time.monotonic() - start

@@ -41,7 +41,7 @@ from repro.core.structural import structural_check, structural_lower_bound
 from repro.core.target import TargetSpec
 from repro.lattice.assignment import CONST0, CONST1, Entry, LatticeAssignment
 from repro.lattice.paths import left_right_paths8, top_bottom_paths
-from repro.sat.solver import CdclSolver, SolveResult, solve_cnf
+from repro.sat.solver import CdclSolver, SolveResult, SolverConfig, solve_cnf
 
 __all__ = [
     "IncrementalProber",
@@ -66,6 +66,10 @@ class JanusOptions:
 
     max_conflicts: int = 60_000  # per LM SAT call; determinism-friendly
     lm_time_limit: Optional[float] = None  # optional per-call wall clock
+    # CDCL tuning shared by every solver the run builds (probes, CEGAR,
+    # equivalence checks).  The engine-level budgets above still win over
+    # any budget the config carries.
+    solver: SolverConfig = field(default_factory=SolverConfig)
     encode: EncodeOptions = field(default_factory=EncodeOptions)
     ub_methods: tuple[str, ...] = ("dp", "ps", "dps", "ips", "idps", "ds")
     sides: tuple[str, ...] = ("primal", "dual")
@@ -247,6 +251,7 @@ def solve_lm(
         chosen.cnf,
         max_conflicts=options.max_conflicts,
         max_time=options.lm_time_limit,
+        config=options.solver,
     )
     attempt.conflicts = result.stats.conflicts
     attempt.propagations = result.stats.propagations
@@ -674,7 +679,9 @@ class IncrementalProber(SerialProber):
             else None
         )
         if family is not None:
-            solver = CdclSolver(num_vars=chosen.cnf.num_vars)
+            solver = CdclSolver(
+                num_vars=chosen.cnf.num_vars, config=options.solver
+            )
             result: Optional[SolveResult] = None
             for clause in chosen.cnf.clauses:
                 if not solver.add_clause(clause):
@@ -693,6 +700,7 @@ class IncrementalProber(SerialProber):
                 chosen.cnf,
                 max_conflicts=options.max_conflicts,
                 max_time=options.lm_time_limit,
+                config=options.solver,
             )
         attempt.conflicts += result.stats.conflicts
         attempt.propagations += result.stats.propagations

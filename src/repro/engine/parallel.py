@@ -34,10 +34,14 @@ replacement that scales JANUS four ways without changing its answers:
   are harvested into the probe cache instead of wasted.
 
 * **Portfolio probes** (opt-in) — ``portfolio=True`` races the eager
-  paper encoding against the lazy CEGAR backend per instance and takes
-  the first decisive answer.  This can change which (equally valid)
+  paper encoding under several :class:`~repro.sat.solver.SolverConfig`
+  presets *and* the lazy CEGAR backend per instance, taking the first
+  decisive answer (losers are cancelled; per-preset win counts land in
+  ``EngineStats.preset_wins``).  This can change which (equally valid)
   lattice is found, so it is off by default, never used inside the
-  deterministic shape race, and cached under its own key namespace.
+  deterministic shape race, and cached under its own key namespace
+  (which encodes the preset list, so differently-tuned portfolios never
+  collide).
 
 Workers are plain ``ProcessPoolExecutor`` processes executing the
 module-level functions in :mod:`repro.engine.worker`; every request
@@ -52,7 +56,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -97,8 +101,20 @@ from repro.engine.worker import (
     run_lm_request,
 )
 from repro.lattice.assignment import LatticeAssignment
+from repro.sat.solver import SolverConfig
 
-__all__ = ["EngineStats", "ParallelEngine", "default_jobs"]
+__all__ = [
+    "DEFAULT_PORTFOLIO_PRESETS",
+    "EngineStats",
+    "ParallelEngine",
+    "default_jobs",
+]
+
+# The presets a portfolio race covers by default: one darting config,
+# the byte-identity default, and one clause-hoarding config — three
+# genuinely different trajectories per instance (plus the lazy CEGAR
+# backend, which always joins the race under the default config).
+DEFAULT_PORTFOLIO_PRESETS: tuple[str, ...] = ("agile", "default", "heavy")
 
 
 def default_jobs() -> int:
@@ -155,12 +171,20 @@ class EngineStats:
     # would have repeated (the hit's recorded restart count)
     speculated_deep: int = 0  # grandchild-midpoint prefetches (depth 2)
     npn_hits: int = 0  # suite results served via NPN-class aliasing
+    # "backend:preset" -> number of portfolio races that entry won
+    preset_wins: dict = field(default_factory=dict)
 
     def merge(self, other: dict) -> None:
         """Fold a stats snapshot (``dataclasses.asdict`` form) into self."""
         for field_name, value in other.items():
-            if hasattr(self, field_name):
-                setattr(self, field_name, getattr(self, field_name) + value)
+            if not hasattr(self, field_name):
+                continue
+            current = getattr(self, field_name)
+            if isinstance(current, dict):
+                for key, count in (value or {}).items():
+                    current[key] = current.get(key, 0) + count
+            else:
+                setattr(self, field_name, current + value)
 
 
 class ParallelEngine(SerialProber):
@@ -189,12 +213,22 @@ class ParallelEngine(SerialProber):
         memory: Optional[int] = None,
         events: Optional[Callable[[EngineEvent], None]] = None,
         npn: bool = False,
+        presets: Optional[Sequence[str]] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
         self.portfolio = portfolio
+        # Preset names are resolved eagerly so an unknown name fails at
+        # construction, not in a worker mid-race.
+        self.presets: tuple[str, ...] = tuple(
+            presets if presets is not None else DEFAULT_PORTFOLIO_PRESETS
+        )
+        for name in self.presets:
+            SolverConfig.preset(name)
+        if portfolio and not self.presets:
+            raise ValueError("portfolio mode needs at least one preset")
         self.speculate = speculate
         self.speculate_depth = max(1, int(speculate_depth))
         self.suite = suite
@@ -243,8 +277,15 @@ class ParallelEngine(SerialProber):
     # ---------------------------------------------------------------- cache
     @property
     def _mode(self) -> str:
-        """Key namespace: portfolio answers must never serve strict runs."""
-        return "portfolio" if (self.portfolio and self.jobs > 1) else "eager"
+        """Key namespace: portfolio answers must never serve strict runs.
+
+        The preset list is part of the namespace — two portfolios racing
+        different preset sets may settle on different (equally valid)
+        lattices, so their cache entries must not be interchangeable.
+        """
+        if self.portfolio and self.jobs > 1:
+            return f"portfolio[{','.join(self.presets)}]"
+        return "eager"
 
     def _cacheable(self, payload: dict, options: JanusOptions) -> bool:
         if payload["status"] in ("sat", "unsat"):
@@ -361,11 +402,12 @@ class ParallelEngine(SerialProber):
     ) -> LmOutcome:
         """One cache-aware probe (used by ``fit_columns`` and callers)."""
         race = self.portfolio and self.jobs > 1 and not self._closed
-        # Portfolio results may come from the CEGAR backend and need not
-        # match the eager lattice, so they live under their own key —
+        # Portfolio results may come from the CEGAR backend or a
+        # non-default preset and need not match the eager lattice, so
+        # they live under their own key (including the preset list) —
         # they must never poison a deterministic run sharing the cache.
         key = lm_cache_key(
-            spec, rows, cols, options, backend="portfolio" if race else "eager"
+            spec, rows, cols, options, backend=self._mode if race else "eager"
         )
         hit = self._cache_get(key, spec, options)
         if hit is not None:
@@ -388,17 +430,24 @@ class ParallelEngine(SerialProber):
         cols: int,
         options: JanusOptions,
     ) -> LmOutcome:
-        """Race the eager and lazy backends; first decisive answer wins."""
+        """Race the eager backend under every configured preset, plus the
+        lazy CEGAR backend; the first decisive answer wins and the losers
+        are cancelled.  The winner's ``backend:preset`` label is tallied
+        in ``stats.preset_wins``.
+        """
         from concurrent.futures import FIRST_COMPLETED, wait
 
         pool = self._pool
         assert pool is not None
-        futures = {
-            pool.submit(
-                run_lm_request, LmRequest(spec, rows, cols, options, backend)
-            ): backend
-            for backend in ("eager", "lazy")
-        }
+        entries = [("eager", name) for name in self.presets]
+        entries.append(("lazy", "default"))
+        futures: dict[Future, str] = {}
+        for backend, preset in entries:
+            tuned = replace(options, solver=SolverConfig.preset(preset))
+            fut = pool.submit(
+                run_lm_request, LmRequest(spec, rows, cols, tuned, backend)
+            )
+            futures[fut] = f"{backend}:{preset}"
         self.stats.dispatched += len(futures)
         best: Optional[LmOutcome] = None
         pending = set(futures)
@@ -407,12 +456,15 @@ class ParallelEngine(SerialProber):
             for fut in done:
                 outcome = outcome_from_payload(fut.result(), spec)
                 if outcome.status in ("sat", "unsat"):
+                    label = futures[fut]
+                    wins = self.stats.preset_wins
+                    wins[label] = wins.get(label, 0) + 1
                     for other in pending:
                         if other.cancel():
                             self.stats.cancelled += 1
                     return outcome
                 best = outcome
-        assert best is not None  # both backends returned "unknown"
+        assert best is not None  # every racer returned "unknown"
         return best
 
     # ------------------------------------------------------------ speculation
@@ -506,7 +558,22 @@ class ParallelEngine(SerialProber):
         given (and a pool exists), the engine speculates: the UNSAT
         branch's next step is prefetched immediately, the SAT branch's as
         soon as the winner (and therefore the new upper bound) is known.
+
+        In portfolio mode each shape is decided by the preset race in
+        :meth:`solve` instead (shapes in candidate order, presets racing
+        within each probe) — the parallelism budget goes to the portfolio
+        rather than to sibling shapes.
         """
+        if self.portfolio and self.jobs > 1 and not self._closed and (
+            self._pool is not None
+        ):
+            self.stats.batches += 1
+            for rows, cols in shapes:
+                outcome = self.solve(spec, rows, cols, options)
+                attempts.append(outcome.attempt)
+                if outcome.status == "sat":
+                    return outcome.assignment
+            return None
         self.stats.batches += 1
         shapes = list(shapes)
         keys = [lm_cache_key(spec, r, c, options) for r, c in shapes]

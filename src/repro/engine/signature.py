@@ -38,7 +38,10 @@ __all__ = [
     "npn_alias_key",
 ]
 
-_KEY_VERSION = 1  # bump when the encoding or solver behavior changes
+# Bump when the encoding or solver behavior changes.  v2: the canonical
+# ``solver_config`` block joined options_fingerprint, so differently
+# tuned runs key differently (and pre-config cache entries are retired).
+_KEY_VERSION = 2
 
 # Exact canonicalization enumerates n! * 2^n input transforms; beyond
 # this input count the enumeration costs more than a cache miss.
@@ -58,12 +61,16 @@ def spec_fingerprint(spec: TargetSpec) -> dict:
 
 def options_fingerprint(options: JanusOptions) -> dict:
     """Every option that can influence an LM probe's outcome."""
-    fp = asdict(options)  # recurses into EncodeOptions
+    fp = asdict(options)  # recurses into EncodeOptions and SolverConfig
     # ub_methods / ds_depth steer the *driver*, not a single LM probe, but
     # they are cheap to include and make the key reusable for whole-run
     # caching later; keep them.
     fp["ub_methods"] = list(fp["ub_methods"])
     fp["sides"] = list(fp["sides"])
+    # The CDCL tuning block, under its wire-schema name: every
+    # SolverConfig field participates in the key, so two differently
+    # tuned runs can never collide in the probe/suite caches.
+    fp["solver_config"] = fp.pop("solver")
     return fp
 
 

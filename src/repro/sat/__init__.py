@@ -18,9 +18,11 @@ A self-contained conflict-driven clause-learning stack:
 
 from repro.sat.cnf import Cnf, VarPool
 from repro.sat.solver import (
+    SOLVER_PRESETS,
     CdclSolver,
     SolveRequest,
     SolveResult,
+    SolverConfig,
     SolverStats,
     solve_cnf,
     solve_request,
@@ -52,6 +54,8 @@ __all__ = [
     "Cnf",
     "VarPool",
     "CdclSolver",
+    "SOLVER_PRESETS",
+    "SolverConfig",
     "SolveRequest",
     "SolveResult",
     "SolverStats",

@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import SolverError
 
 __all__ = [
     "CdclSolver",
+    "SOLVER_PRESETS",
+    "SolverConfig",
     "SolveRequest",
     "SolveResult",
     "SolverStats",
@@ -40,6 +42,122 @@ _UNASSIGNED = -1
 # Sentinel distinguishing "budget not given" from an explicit None (no
 # budget) in per-call overrides.
 _KEEP = object()
+
+_RESTART_STRATEGIES = ("luby", "geometric")
+_PHASE_MODES = ("save", "off")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Every tunable knob of :class:`CdclSolver`, as one frozen value.
+
+    The defaults reproduce the solver's historical hardcoded behaviour
+    *exactly* — ``SolverConfig()`` is byte-identical to the pre-config
+    solver on every trajectory, which is what lets the engine cache and
+    the byte-identity tests treat "no config" and "default config" as
+    the same thing.
+
+    Budgets (``max_conflicts`` / ``max_time``) are defaults, not caps:
+    an explicit per-call or per-constructor budget always wins, so the
+    JANUS engine's deterministic conflict budgets keep their authority
+    over whatever a preset suggests.
+    """
+
+    restart_strategy: str = "luby"  # "luby" | "geometric"
+    restart_base: int = 100
+    restart_growth: float = 1.5  # geometric strategy only
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    phase_saving: str = "save"  # "save" | "off"
+    reduce_base: int = 1000
+    reduce_growth: float = 1.3
+    max_conflicts: Optional[int] = None
+    max_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.restart_strategy not in _RESTART_STRATEGIES:
+            raise SolverError(
+                f"unknown restart_strategy {self.restart_strategy!r}; "
+                f"expected one of {_RESTART_STRATEGIES}"
+            )
+        if self.phase_saving not in _PHASE_MODES:
+            raise SolverError(
+                f"unknown phase_saving {self.phase_saving!r}; "
+                f"expected one of {_PHASE_MODES}"
+            )
+        if self.restart_base < 1:
+            raise SolverError("restart_base must be >= 1")
+        if self.restart_growth <= 1.0:
+            raise SolverError("restart_growth must be > 1.0")
+        if not 0.0 < self.var_decay <= 1.0:
+            raise SolverError("var_decay must be in (0, 1]")
+        if not 0.0 < self.clause_decay <= 1.0:
+            raise SolverError("clause_decay must be in (0, 1]")
+        if self.reduce_base < 1:
+            raise SolverError("reduce_base must be >= 1")
+        if self.reduce_growth < 1.0:
+            raise SolverError("reduce_growth must be >= 1.0")
+        if self.max_conflicts is not None and self.max_conflicts < 0:
+            raise SolverError("max_conflicts must be >= 0")
+        if self.max_time is not None and self.max_time < 0:
+            raise SolverError("max_time must be >= 0")
+
+    @classmethod
+    def default(cls) -> "SolverConfig":
+        return cls()
+
+    @classmethod
+    def preset(cls, name: str) -> "SolverConfig":
+        """A named preset; raises :class:`SolverError` for unknown names."""
+        try:
+            return SOLVER_PRESETS[name]
+        except KeyError:
+            raise SolverError(
+                f"unknown solver preset {name!r}; "
+                f"expected one of {sorted(SOLVER_PRESETS)}"
+            ) from None
+
+    def restart_limit(self, idx: int) -> int:
+        """Conflicts allowed before the ``idx``-th (1-based) restart."""
+        if self.restart_strategy == "geometric":
+            return int(self.restart_base * self.restart_growth ** (idx - 1))
+        return self.restart_base * _luby(idx)
+
+
+# The named presets the portfolio races and the CLI/server expose.
+# ``default`` is the measured pick: the PR-7 `bench_sat.py --sweep`
+# matrix showed honest parity across presets on the realizability
+# frontier (deterministic conflict budgets dominate), so the
+# byte-identity-preserving historical tuning stays the default.
+SOLVER_PRESETS: dict[str, SolverConfig] = {
+    "default": SolverConfig(),
+    # Rapid Luby restarts, fast-moving activities, aggressive clause-DB
+    # pruning: darts for easy/shallow instances.
+    "agile": SolverConfig(
+        restart_base=32,
+        var_decay=0.90,
+        clause_decay=0.995,
+        reduce_base=600,
+        reduce_growth=1.2,
+    ),
+    # Long geometric restarts and slow decay: stays the course on
+    # instances where the heuristic needs time to settle.
+    "stable": SolverConfig(
+        restart_strategy="geometric",
+        restart_base=512,
+        restart_growth=1.5,
+        var_decay=0.99,
+        reduce_base=2000,
+    ),
+    # Keeps far more learned clauses before reducing: trades memory for
+    # propagation power on hard UNSAT cores.
+    "heavy": SolverConfig(
+        restart_base=256,
+        clause_decay=0.9995,
+        reduce_base=4000,
+        reduce_growth=1.5,
+    ),
+}
 
 
 @dataclass
@@ -105,18 +223,39 @@ class CdclSolver:
     def __init__(
         self,
         num_vars: int = 0,
-        max_conflicts: Optional[int] = None,
-        max_time: Optional[float] = None,
-        restart_base: int = 100,
-        var_decay: float = 0.95,
-        clause_decay: float = 0.999,
+        max_conflicts=_KEEP,
+        max_time=_KEEP,
+        restart_base=_KEEP,
+        var_decay=_KEEP,
+        clause_decay=_KEEP,
         proof: bool = False,
+        config: Optional[SolverConfig] = None,
     ) -> None:
+        # ``config`` is the one true tuning surface; the loose kwargs are
+        # a deprecation shim for pre-SolverConfig call sites.  Explicitly
+        # passed kwargs override the matching config field, so legacy
+        # callers keep their exact behaviour.
+        cfg = config if config is not None else SolverConfig()
+        overrides = {
+            name: value
+            for name, value in (
+                ("max_conflicts", max_conflicts),
+                ("max_time", max_time),
+                ("restart_base", restart_base),
+                ("var_decay", var_decay),
+                ("clause_decay", clause_decay),
+            )
+            if value is not _KEEP
+        }
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        self.config = cfg
         self.ok = True
         self.stats = SolverStats()
-        self.max_conflicts = max_conflicts
-        self.max_time = max_time
-        self.restart_base = restart_base
+        self.max_conflicts = cfg.max_conflicts
+        self.max_time = cfg.max_time
+        self.restart_base = cfg.restart_base
+        self._save_phase = cfg.phase_saving == "save"
         # DRUP proof log: ("a"|"d", external-literal tuple) per event.  Only
         # *derived* clauses are logged (learnt clauses, level-0 strengthened
         # inputs, the final empty clause) plus learnt-clause deletions; this
@@ -142,9 +281,9 @@ class CdclSolver:
         self._qhead = 0
         self._activity: list[float] = []
         self._var_inc = 1.0
-        self._var_decay = var_decay
+        self._var_decay = cfg.var_decay
         self._cla_inc = 1.0
-        self._cla_decay = clause_decay
+        self._cla_decay = cfg.clause_decay
         self._phase: list[int] = []  # saved phase per var (0/1)
         self._heap: list[tuple[float, int]] = []  # lazy (-activity, var)
         self._seen: list[int] = []
@@ -411,9 +550,11 @@ class CdclSolver:
             return
         bound = self._trail_lim[level]
         heap = self._heap
+        save_phase = self._save_phase
         for lit in reversed(self._trail[bound:]):
             var = lit >> 1
-            self._phase[var] = self._assign[var]
+            if save_phase:
+                self._phase[var] = self._assign[var]
             self._assign[var] = _UNASSIGNED
             self._reason[var] = None
             heapq.heappush(heap, (-self._activity[var], var))
@@ -650,11 +791,17 @@ class CdclSolver:
             return SolveResult("unsat", stats=self.stats, core=[])
 
         assum = [self._to_internal(a) for a in assumptions]
+        cfg = self.config
         conflicts_start = self.stats.conflicts
         restart_idx = 1
-        restart_limit = self.restart_base * _luby(restart_idx)
+        restart_limit = cfg.restart_limit(restart_idx)
         conflicts_since_restart = 0
-        max_learnts = max(1000, (len(self._clauses) // 3) + 500)
+        # With the default config (reduce_base=1000) this is the
+        # historical ``max(1000, len(clauses) // 3 + 500)`` schedule.
+        max_learnts = max(
+            cfg.reduce_base,
+            (len(self._clauses) // 3) + cfg.reduce_base // 2,
+        )
 
         while True:
             conflict = self._propagate()
@@ -694,14 +841,14 @@ class CdclSolver:
                 if conflicts_since_restart >= restart_limit:
                     self.stats.restarts += 1
                     restart_idx += 1
-                    restart_limit = self.restart_base * _luby(restart_idx)
+                    restart_limit = cfg.restart_limit(restart_idx)
                     conflicts_since_restart = 0
                     self._backtrack(0)
                 continue
 
             if len(self._learnts) >= max_learnts:
                 self._reduce_db()
-                max_learnts = int(max_learnts * 1.3)
+                max_learnts = int(max_learnts * cfg.reduce_growth)
 
             # Take pending assumptions as forced decisions first.
             next_lit: Optional[int] = None
@@ -731,12 +878,20 @@ class CdclSolver:
 def solve_cnf(
     cnf,
     assumptions: Sequence[int] = (),
-    max_conflicts: Optional[int] = None,
-    max_time: Optional[float] = None,
+    max_conflicts=_KEEP,
+    max_time=_KEEP,
+    config: Optional[SolverConfig] = None,
 ) -> SolveResult:
-    """One-shot convenience wrapper around :class:`CdclSolver`."""
+    """One-shot convenience wrapper around :class:`CdclSolver`.
+
+    ``max_conflicts`` / ``max_time`` override the config's budgets when
+    passed explicitly (``None`` lifts the budget, as in ``solve``).
+    """
     solver = CdclSolver(
-        num_vars=cnf.num_vars, max_conflicts=max_conflicts, max_time=max_time
+        num_vars=cnf.num_vars,
+        max_conflicts=max_conflicts,
+        max_time=max_time,
+        config=config,
     )
     for clause in cnf.clauses:
         if not solver.add_clause(clause):
@@ -749,10 +904,10 @@ class SolveRequest:
     """A self-contained, picklable SAT workload.
 
     Carries plain tuples (no :class:`~repro.sat.cnf.VarPool`, no solver
-    state) so it can cross a process boundary cheaply; ``budgets`` ride
-    along so every worker enforces its own limits.  Built for the parallel
-    engine's process pool, but equally usable for shipping instances to
-    any executor.
+    state) so it can cross a process boundary cheaply; budgets and the
+    :class:`SolverConfig` ride along so every worker enforces its own
+    limits and tuning.  Built for the parallel engine's process pool, but
+    equally usable for shipping instances to any executor.
     """
 
     clauses: tuple[tuple[int, ...], ...]
@@ -760,6 +915,7 @@ class SolveRequest:
     assumptions: tuple[int, ...] = ()
     max_conflicts: Optional[int] = None
     max_time: Optional[float] = None
+    config: Optional[SolverConfig] = None
 
     @classmethod
     def from_cnf(
@@ -768,6 +924,7 @@ class SolveRequest:
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
         max_time: Optional[float] = None,
+        config: Optional[SolverConfig] = None,
     ) -> "SolveRequest":
         return cls(
             clauses=tuple(tuple(c) for c in cnf.clauses),
@@ -775,13 +932,19 @@ class SolveRequest:
             assumptions=tuple(assumptions),
             max_conflicts=max_conflicts,
             max_time=max_time,
+            config=config,
         )
 
     def run(self) -> SolveResult:
+        # An explicit request budget wins over the config's; an absent
+        # one (None) defers to whatever the config carries.
+        overrides: dict = {}
+        if self.max_conflicts is not None:
+            overrides["max_conflicts"] = self.max_conflicts
+        if self.max_time is not None:
+            overrides["max_time"] = self.max_time
         solver = CdclSolver(
-            num_vars=self.num_vars,
-            max_conflicts=self.max_conflicts,
-            max_time=self.max_time,
+            num_vars=self.num_vars, config=self.config, **overrides
         )
         for clause in self.clauses:
             if not solver.add_clause(clause):

@@ -22,9 +22,13 @@ routes (details and curl examples in ``docs/server.md``):
 
 Per-request knobs ride on the query string: ``?backend=`` overrides the
 request's backend field (resolved against the registry — unknown names
-404), ``?timeout=`` imposes a wall-clock budget (overrun -> 408), and
+404), ``?timeout=`` imposes a wall-clock budget (overrun -> 408),
 ``?jobs=`` asks for a different engine width than the pooled sessions
-carry (served by a throwaway session against the same shared cache).
+carry (served by a throwaway session against the same shared cache), and
+``?preset=`` applies a named :class:`~repro.sat.solver.SolverConfig`
+preset to requests that carry no explicit ``solver_config`` (unknown
+names 400; the server may also be started with a default preset, which
+an explicit query value overrides).
 """
 
 from __future__ import annotations
@@ -38,9 +42,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.api.backends import resolve_solver_config
 from repro.api.schema import BatchRequest, SynthesisRequest
 from repro.api.session import Session
 from repro.errors import ValidationError
+from repro.sat.solver import SolverConfig
 from repro.server.jobs import JobManager
 from repro.server.pool import SessionPool
 from repro.server.protocol import (
@@ -51,6 +57,7 @@ from repro.server.protocol import (
     health_wire,
     job_wire,
     status_for_exception,
+    validated_preset,
 )
 
 __all__ = ["SynthesisServer", "make_server"]
@@ -229,7 +236,10 @@ class _Handler(BaseHTTPRequestHandler):
             request = request.with_backend(query["backend"])
         timeout = self._float_param(query, "timeout")
         jobs = self._int_param(query, "jobs")
-        response = self.server.run_synthesize(request, timeout, jobs)
+        preset = (
+            validated_preset(query["preset"]) if "preset" in query else None
+        )
+        response = self.server.run_synthesize(request, timeout, jobs, preset)
         self._send_json(200, response.to_json().encode("utf-8"))
 
     def _post_batch(self) -> None:
@@ -299,8 +309,17 @@ class SynthesisServer(ThreadingHTTPServer):
         npn: bool = False,
         keep_jobs: int = 128,
         verbose: bool = False,
+        preset: "str | SolverConfig | None" = None,
     ) -> None:
         self.verbose = verbose
+        # The server-wide default solver tuning (a preset name or a full
+        # SolverConfig); validated/resolved up front so a typo fails at
+        # startup, not on the first request.
+        if isinstance(preset, str):
+            validated_preset(preset)
+        self.default_config = (
+            resolve_solver_config(preset) if preset is not None else None
+        )
         self._owned_cache = cache is None
         self.cache_dir = (
             tempfile.mkdtemp(prefix="janus-serve-") if cache is None else cache
@@ -360,12 +379,39 @@ class SynthesisServer(ThreadingHTTPServer):
         )
 
     # ------------------------------------------------------------ execution
+    def _apply_preset(
+        self, request: SynthesisRequest, preset: Optional[str]
+    ) -> SynthesisRequest:
+        """Rewrite the request under the effective solver preset.
+
+        Precedence: an explicit ``solver_config`` in the request body
+        always wins; then the ``?preset=`` query value; then the
+        server-wide default config; then nothing.
+        """
+        import dataclasses
+
+        config = (
+            SolverConfig.preset(preset)
+            if preset is not None
+            else self.default_config
+        )
+        if config is None or request.options.solver_config is not None:
+            return request
+        return dataclasses.replace(
+            request,
+            options=dataclasses.replace(
+                request.options, solver_config=config
+            ),
+        )
+
     def run_synthesize(
         self,
         request: SynthesisRequest,
         timeout: Optional[float] = None,
         jobs: Optional[int] = None,
+        preset: Optional[str] = None,
     ):
+        request = self._apply_preset(request, preset)
         if jobs is not None:
             # Same normalization the pool applied to its own width, so
             # ?jobs=0 ("all CPUs") or a clamped negative matching the
@@ -444,6 +490,7 @@ def make_server(
     cache: Optional[str] = None,
     npn: bool = False,
     verbose: bool = False,
+    preset: "str | SolverConfig | None" = None,
 ) -> SynthesisServer:
     """Build (and bind) a :class:`SynthesisServer`; ``port=0`` picks a
     free ephemeral port — read it back from ``server.address``."""
@@ -455,4 +502,5 @@ def make_server(
         cache=cache,
         npn=npn,
         verbose=verbose,
+        preset=preset,
     )
