@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Learned portfolio dispatch on a generated mixed workload.
+
+Two phases over the same seeded generator workload (``repro.gen``),
+both in portfolio mode:
+
+1. **Training** — every probe runs the blind race (eager encoding under
+   each preset, plus the lazy CEGAR backend); decisive winners are
+   recorded per instance class into a fresh
+   :class:`~repro.gen.dispatch.DispatchTable`.
+2. **Learned** — a second engine runs the identical workload consulting
+   the warmed table: classes with enough one-sided evidence launch only
+   their learned winner.
+
+The headline numbers are probe launches (``EngineStats.dispatched``)
+and the learned hit/miss split: with a warmed table the engine must
+launch strictly fewer probes than the blind race did — that is asserted,
+not sampled — while answers stay within the portfolio's documented
+any-valid-lattice contract (sizes are compared against the serial
+reference and must match; a mismatch is a real bug, not noise).
+
+Results are written to ``BENCH_pr8.json`` (``--json-out``) for the CI
+perf-smoke artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gen.py
+    PYTHONPATH=src python benchmarks/bench_gen.py \
+        --families random-tt,pla-cover --level 1 --count 3 \
+        --json-out BENCH_pr8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.janus import JanusOptions, synthesize
+from repro.engine.parallel import ParallelEngine
+from repro.gen import DispatchTable, generated_specs
+
+DEFAULT_FAMILIES = "random-tt,pla-cover,d-reducible"
+
+
+def _run_phase(specs, options, presets, jobs, dispatch=None):
+    t0 = time.monotonic()
+    with ParallelEngine(
+        jobs=jobs, portfolio=True, presets=presets, dispatch=dispatch
+    ) as engine:
+        sizes = {}
+        for spec in specs:
+            result = engine.synthesize(spec, name=spec.name, options=options)
+            sizes[spec.name] = result.size
+        stats = engine.stats
+    return sizes, stats, time.monotonic() - t0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--families", default=DEFAULT_FAMILIES,
+                        help="family kinds for the workload (comma list or "
+                        "'mixed'; see janus gen --list)")
+    parser.add_argument("--level", type=int, default=1,
+                        help="difficulty-ladder level (0..4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator base seed")
+    parser.add_argument("--count", type=int, default=3,
+                        help="instances per family kind")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes per engine")
+    parser.add_argument("--presets", default="agile,default",
+                        help="comma list of solver presets to race")
+    parser.add_argument("--max-conflicts", type=int, default=20_000,
+                        help="per-probe conflict budget (deterministic)")
+    parser.add_argument("--min-wins", type=int, default=2,
+                        help="dispatch evidence threshold (wins per class)")
+    parser.add_argument("--json-out", default=None,
+                        help="write machine-readable results (BENCH_pr8.json)")
+    args = parser.parse_args(argv)
+
+    presets = tuple(p.strip() for p in args.presets.split(",") if p.strip())
+    options = JanusOptions(max_conflicts=args.max_conflicts)
+    specs = generated_specs(
+        args.families, level=args.level, base_seed=args.seed,
+        count=args.count,
+    )
+    print(f"== learned dispatch on {len(specs)} generated instances "
+          f"(families={args.families}, level={args.level}, "
+          f"seed={args.seed}, presets={','.join(presets)})")
+
+    table = DispatchTable(min_wins=args.min_wins, min_share=0.5)
+    blind_sizes, blind, blind_t = _run_phase(
+        specs, options, presets, args.jobs, dispatch=table
+    )
+    learned_sizes, learned, learned_t = _run_phase(
+        specs, options, presets, args.jobs, dispatch=table
+    )
+
+    print(f"{'phase':>10}  {'probes':>7}  {'solver':>7}  "
+          f"{'hits':>5}  {'miss':>5}  {'wall':>7}")
+    for label, stats, wall in (
+        ("training", blind, blind_t), ("learned", learned, learned_t)
+    ):
+        print(f"{label:>10}  {stats.dispatched:>7}  "
+              f"{stats.solver_calls:>7}  {stats.dispatch_hits:>5}  "
+              f"{stats.dispatch_misses:>5}  {wall:>6.1f}s")
+    saved = blind.dispatched - learned.dispatched
+    print(f"\nlearned rules: {len(table)} classes; "
+          f"{saved} fewer probe launches than the blind race "
+          f"({blind.dispatched} -> {learned.dispatched})")
+
+    failures = 0
+    if not learned.dispatch_hits:
+        failures += 1
+        print("FAIL: the warmed table produced no learned hits")
+    if learned.dispatched >= blind.dispatched:
+        failures += 1
+        print("FAIL: learned dispatch did not reduce probe launches "
+              f"({learned.dispatched} >= {blind.dispatched})")
+    # Portfolio answers may be any valid lattice, but the minimal *size*
+    # is unique — compare against the deterministic serial reference.
+    for spec in specs:
+        ref = synthesize(spec, name=spec.name, options=options)
+        for label, sizes in (("blind", blind_sizes), ("learned", learned_sizes)):
+            if sizes[spec.name] != ref.size:
+                failures += 1
+                print(f"FAIL: {label} size for {spec.name} is "
+                      f"{sizes[spec.name]}, serial reference {ref.size}")
+
+    report = {
+        "options": {
+            "families": args.families, "level": args.level,
+            "seed": args.seed, "count": args.count,
+            "presets": list(presets), "jobs": args.jobs,
+            "max_conflicts": args.max_conflicts,
+            "min_wins": args.min_wins,
+        },
+        "instances": [spec.name for spec in specs],
+        "training": {**dataclasses.asdict(blind), "wall": blind_t},
+        "learned": {**dataclasses.asdict(learned), "wall": learned_t},
+        "dispatch_table": table.to_payload(),
+        "probes_saved": saved,
+        "ok": failures == 0,
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -145,18 +145,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "least this propagation ratio")
     parser.add_argument("--json-out", default=None,
                         help="write machine-readable results (BENCH_pr4.json)")
+    parser.add_argument("--generated", default=None, metavar="KINDS",
+                        help="use the seeded generator workload instead of "
+                        "the paper instances: a family kind, comma list, "
+                        "or 'mixed' (see janus gen)")
+    parser.add_argument("--gen-level", type=int, default=1,
+                        help="generator difficulty-ladder level (0..4)")
+    parser.add_argument("--gen-seed", type=int, default=0,
+                        help="generator base seed")
+    parser.add_argument("--gen-count", type=int, default=2,
+                        help="generated instances per family kind")
     args = parser.parse_args(argv)
 
-    by_name = {r.name: r for r in PAPER_TABLE2}
-    names = sorted(
-        profile_names(args.profile),
-        key=lambda n: (by_name[n].cpu_janus, by_name[n].num_inputs, n),
-    )
-    if args.limit:
-        names = names[: args.limit]
+    if args.generated:
+        from repro.gen import generated_specs
+
+        gen_specs = generated_specs(
+            args.generated, level=args.gen_level,
+            base_seed=args.gen_seed, count=args.gen_count,
+        )
+        if args.limit:
+            gen_specs = gen_specs[: args.limit]
+        by_spec = {spec.name: spec for spec in gen_specs}
+        names = [spec.name for spec in gen_specs]
+    else:
+        by_name = {r.name: r for r in PAPER_TABLE2}
+        names = sorted(
+            profile_names(args.profile),
+            key=lambda n: (by_name[n].cpu_janus, by_name[n].num_inputs, n),
+        )
+        if args.limit:
+            names = names[: args.limit]
+        by_spec = None
+
+    def instance(name):
+        return by_spec[name] if by_spec is not None else build_instance(name)
+
     options = JanusOptions(max_conflicts=args.max_conflicts)
     report = {"options": {"profile": args.profile, "limit": args.limit,
-                          "max_conflicts": args.max_conflicts},
+                          "max_conflicts": args.max_conflicts,
+                          "generated": args.generated,
+                          "gen_level": args.gen_level,
+                          "gen_seed": args.gen_seed},
               "instances": [], "frontier": [], "synthesis": {}}
     failures = 0
 
@@ -166,7 +196,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     tot_cold_p = tot_inc_p = 0
     tot_cold_t = tot_inc_t = 0.0
     for name in names:
-        spec = build_instance(name)
+        spec = instance(name)
         with _PropagationMeter() as meter:
             t0 = time.monotonic()
             cold = synthesize(spec, name=name, options=options,
@@ -214,7 +244,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     f_cold_p = f_inc_p = 0
     f_cold_t = f_inc_t = 0.0
     for name in names:
-        spec = build_instance(name)
+        spec = instance(name)
         base = synthesize(spec, name=name, options=options)
         rmax = min(base.rows + 2, 6)
         cmax = min(max(base.cols + 2, 4), 8)

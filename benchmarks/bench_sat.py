@@ -213,20 +213,36 @@ def _run_sweep(args: argparse.Namespace) -> int:
               f"known: {sorted(SOLVER_PRESETS)}", file=sys.stderr)
         return 2
 
-    by_name = {r.name: r for r in PAPER_TABLE2}
-    names = sorted(
-        profile_names(args.profile),
-        key=lambda n: (by_name[n].cpu_janus, by_name[n].num_inputs, n),
-    )
-    if args.limit:
-        names = names[: args.limit]
+    if args.generated:
+        # Seeded generator workload instead of the paper's named
+        # benchmarks: same sweep, reproducible instances (see
+        # docs/workloads.md).
+        from repro.gen import generated_specs
+
+        specs = generated_specs(
+            args.generated, level=args.gen_level,
+            base_seed=args.gen_seed, count=args.gen_count,
+        )
+        if args.limit:
+            specs = specs[: args.limit]
+        by_spec = {spec.name: spec for spec in specs}
+        names = [spec.name for spec in specs]
+    else:
+        by_name = {r.name: r for r in PAPER_TABLE2}
+        names = sorted(
+            profile_names(args.profile),
+            key=lambda n: (by_name[n].cpu_janus, by_name[n].num_inputs, n),
+        )
+        if args.limit:
+            names = names[: args.limit]
+        by_spec = None
     base_options = JanusOptions(max_conflicts=args.max_conflicts)
 
     # One baseline synthesis per instance bounds the frontier grid (and
     # is shared by every preset, so the matrix compares like with like).
     grids = {}
     for name in names:
-        spec = build_instance(name)
+        spec = by_spec[name] if by_spec is not None else build_instance(name)
         base = synthesize(spec, name=name, options=base_options)
         grids[name] = (
             spec,
@@ -287,6 +303,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
             "profile": args.profile,
             "limit": args.limit,
             "max_conflicts": args.max_conflicts,
+            "generated": args.generated,
+            "gen_level": args.gen_level,
+            "gen_seed": args.gen_seed,
         },
         "instances": names,
         "presets": rows_out,
@@ -315,6 +334,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="per-probe conflict budget (deterministic)")
     parser.add_argument("--presets", default=None,
                         help="comma list of presets (default: all named)")
+    parser.add_argument("--generated", default=None, metavar="KINDS",
+                        help="use the seeded generator workload instead of "
+                        "the paper instances: a family kind, comma list, "
+                        "or 'mixed' (see janus gen)")
+    parser.add_argument("--gen-level", type=int, default=1,
+                        help="generator difficulty-ladder level (0..4)")
+    parser.add_argument("--gen-seed", type=int, default=0,
+                        help="generator base seed")
+    parser.add_argument("--gen-count", type=int, default=2,
+                        help="generated instances per family kind")
     parser.add_argument("--json-out", default=None,
                         help="write machine-readable results "
                         "(BENCH_pr7.json)")

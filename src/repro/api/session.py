@@ -45,6 +45,7 @@ from repro.api.schema import (
 from repro.core.target import TargetSpec
 from repro.engine.events import EngineEvent
 from repro.engine.parallel import EngineStats, ParallelEngine, default_jobs
+from repro.gen.dispatch import DispatchTable
 from repro.sat.solver import SolverConfig
 
 __all__ = ["Session", "synthesize", "run_batch"]
@@ -80,6 +81,7 @@ class Session:
         solver_configs: Optional[
             dict[str, Union[str, SolverConfig]]
         ] = None,
+        dispatch: Union[DispatchTable, str, Path, None] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs == 0 else max(1, int(jobs))
         self.cache = str(cache) if cache is not None else None
@@ -96,6 +98,17 @@ class Session:
             backend: resolve_solver_config(value)
             for backend, value in (solver_configs or {}).items()
         }
+        # Learned portfolio dispatch: a shared DispatchTable object or a
+        # path.  The session resolves a path once (and then owns the
+        # table: it is saved when the session closes); a live object is
+        # the caller's — a server pool shares one table across sessions
+        # and persists it itself.
+        self._dispatch_owner = dispatch is not None and not isinstance(
+            dispatch, DispatchTable
+        )
+        if self._dispatch_owner:
+            dispatch = DispatchTable(dispatch)
+        self.dispatch: Optional[DispatchTable] = dispatch
         self.registry = registry if registry is not None else REGISTRY
         self._callbacks: list[Callable[[EngineEvent], None]] = (
             [events] if events is not None else []
@@ -117,6 +130,13 @@ class Session:
                 engine.close()
         self._engine = None
         self._portfolio_engine = None
+        if (
+            self._dispatch_owner
+            and self.dispatch is not None
+            and self.dispatch.path is not None
+            and not self._closed
+        ):
+            self.dispatch.save()
         self._closed = True
 
     def _check_open(self) -> None:
@@ -138,6 +158,7 @@ class Session:
             memory=self.memory,
             npn=self.npn,
             presets=self.presets,
+            dispatch=self.dispatch,
         )
         for callback in self._callbacks:
             engine.events.subscribe(callback)

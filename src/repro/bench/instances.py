@@ -31,7 +31,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import SynthesisError
+from repro.errors import UnsatisfiableSignatureError
 from repro.boolf.cube import Cube
 from repro.boolf.minimize import minimize
 from repro.boolf.sop import Sop
@@ -209,6 +209,19 @@ def synth_signature(
     attempt when no exact match is found within ``max_tries`` (recorded in
     the spec name with a ``~`` prefix so reports can flag it).
     """
+    # An impossible signature used to surface as a raw numpy ValueError
+    # from cube sampling (degree > #inputs) or an opaque fallback miss;
+    # validate up front so a broken published row names itself.
+    if num_inputs < 1 or num_products < 1 or degree < 1:
+        raise UnsatisfiableSignatureError(
+            name, num_inputs, num_products, degree,
+            "every signature component must be at least 1",
+        )
+    if degree > num_inputs:
+        raise UnsatisfiableSignatureError(
+            name, num_inputs, num_products, degree,
+            "a product cannot have more literals than there are inputs",
+        )
     best: Optional[TargetSpec] = None
     best_err = None
     for attempt in range(max_tries):
@@ -243,7 +256,10 @@ def synth_signature(
                 names=None,
             )
     if best is None:
-        raise SynthesisError(f"could not synthesize signature for {name}")
+        raise UnsatisfiableSignatureError(
+            name, num_inputs, num_products, degree,
+            f"no usable cover within {max_tries} seeded proposals",
+        )
     return best
 
 

@@ -17,6 +17,8 @@ Subcommands::
     janus cache verify DIR            replay stored assignments vs specs
     janus cache gc DIR --max-age-days 30 --max-size-mb 512   bounded GC
     janus serve --port 8080 --jobs 2  serve the JSON wire schema over HTTP
+    janus gen --family mixed --level 1   generate a seeded workload (JSON)
+    janus synth --request work.json --json   run a generated batch
     janus lint [--strict] [--json]    run the static-analysis suite
 
 The CLI is a thin frontend over the stable :mod:`repro.api` facade —
@@ -122,6 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth = sub.add_parser("synth", help="synthesize a single function")
     p_synth.add_argument("expression", nargs="?", help="SOP, e.g. \"ab + a'c\"")
     p_synth.add_argument("--pla", help="PLA file to read the target from")
+    p_synth.add_argument(
+        "--request",
+        metavar="FILE",
+        default=None,
+        help="read a synthesis_request or batch_request JSON document "
+        "(e.g. from `janus gen`); '-' reads stdin",
+    )
+    p_synth.add_argument(
+        "--dispatch",
+        metavar="FILE",
+        default=None,
+        help="learned portfolio dispatch table (JSON; created if missing, "
+        "updated on exit; consulted whenever a probe races under the "
+        "portfolio backend)",
+    )
     p_synth.add_argument(
         "-o", "--output", type=int, default=0, help="PLA output index"
     )
@@ -277,9 +294,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="share whole-result cache entries across NP-equivalent targets",
     )
     p_serve.add_argument(
+        "--dispatch",
+        metavar="FILE",
+        default=None,
+        help="learned portfolio dispatch table shared by every pooled "
+        "session (JSON; created if missing, saved on shutdown)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log one line per request"
     )
     _add_solver_args(p_serve)
+
+    p_gen = sub.add_parser(
+        "gen",
+        help="generate a seeded, reproducible synthesis workload (JSON)",
+    )
+    p_gen.add_argument(
+        "--family",
+        default="mixed",
+        help="family kind, a comma list, or 'mixed' for every kind "
+        "(random-tt, pla-cover, autosymmetric, d-reducible, "
+        "multi-output, fault)",
+    )
+    p_gen.add_argument(
+        "--level",
+        type=int,
+        default=1,
+        help="difficulty-ladder level 0..4 (see docs/workloads.md)",
+    )
+    p_gen.add_argument(
+        "--seed", type=int, default=0, help="base seed (instances use "
+        "seed, seed+1, ... per family)",
+    )
+    p_gen.add_argument(
+        "--count", type=int, default=1, help="instances per family kind"
+    )
+    p_gen.add_argument(
+        "--backend",
+        default="janus",
+        help="backend name stamped into every generated request",
+    )
+    p_gen.add_argument(
+        "--twins",
+        action="store_true",
+        help="emit SAT/UNSAT twin pairs at the realizability frontier "
+        "instead of plain instances (runs synthesis; slower)",
+    )
+    p_gen.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the batch_request JSON here instead of stdout",
+    )
+    p_gen.add_argument(
+        "--list",
+        action="store_true",
+        help="list family kinds and ladder levels, then exit",
+    )
 
     p_render = sub.add_parser(
         "render", help="synthesize and draw a lattice (ASCII or SVG)"
@@ -372,11 +443,45 @@ def _engine_summary(stats: dict, jobs) -> str:
     if wins:
         tally = " ".join(f"{k}={v}" for k, v in sorted(wins.items()))
         text += f"\nportfolio : preset wins {tally}"
+    hits = stats.get("dispatch_hits", 0)
+    misses = stats.get("dispatch_misses", 0)
+    if hits or misses:
+        text += f"\ndispatch  : learned hits/misses={hits}/{misses}"
     return text
 
 
+def _read_request_document(path: str):
+    """Parse a ``--request`` document: a single ``synthesis_request`` or
+    a whole ``batch_request`` (the form ``janus gen`` emits)."""
+    import json
+
+    from repro.api import BatchRequest, SynthesisRequest
+    from repro.errors import ValidationError
+
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    try:
+        wire = json.loads(text)
+    except ValueError as exc:
+        raise ValidationError(f"--request: not valid JSON: {exc}")
+    kind = wire.get("kind") if isinstance(wire, dict) else None
+    if kind == "batch_request":
+        return BatchRequest.from_wire(wire)
+    if kind == "synthesis_request":
+        return SynthesisRequest.from_wire(wire)
+    raise ValidationError(
+        f"--request: expected kind synthesis_request or batch_request, "
+        f"got {kind!r}"
+    )
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
-    if args.pla:
+    from repro.api import BatchRequest
+
+    request = None
+    spec = None
+    if args.request:
+        request = _read_request_document(args.request)
+    elif args.pla:
         with open(args.pla) as fh:
             pla = read_pla(fh)
         tt = pla.output_truthtable(args.output)
@@ -386,23 +491,54 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     elif args.expression:
         spec = TargetSpec.from_string(args.expression)
     else:
-        print("error: provide an expression or --pla", file=sys.stderr)
+        print(
+            "error: provide an expression, --pla or --request",
+            file=sys.stderr,
+        )
         return 2
     options = RequestOptions(
         max_conflicts=args.max_conflicts,
         time_limit=args.time_limit,
         solver_config=_solver_config_from_args(args),
     )
-    engine_wanted = args.jobs != 1 or args.cache or args.portfolio
+    engine_wanted = bool(
+        args.jobs != 1 or args.cache or args.portfolio or args.dispatch
+    )
     with Session(
         jobs=args.jobs,
         cache=args.cache,
         portfolio=args.portfolio,
         npn=args.npn_dedup,
+        dispatch=args.dispatch,
     ) as session:
-        response = session.synthesize(
-            spec, backend=args.backend, options=options
-        )
+        if isinstance(request, BatchRequest):
+            batch = session.run_batch(request)
+            engine_used = session._portfolio_engine or session._engine
+            engine_jobs = engine_used.jobs if engine_used is not None else None
+            if args.json:
+                print(batch.to_json())
+                return 0
+            for response in batch.responses:
+                print(
+                    f"{response.name:<24} {response.shape:>6} = "
+                    f"{response.size:>3} switches "
+                    f"[{response.backend}] in {response.wall_time:.1f}s"
+                )
+            print(f"batch     : {len(batch.responses)} instances in "
+                  f"{batch.wall_time:.1f}s")
+            if engine_wanted and batch.stats is not None:
+                print(_engine_summary(batch.stats, engine_jobs))
+            return 0
+        if request is not None:
+            response = session.synthesize(
+                request if args.backend is None
+                else request.with_backend(args.backend)
+            )
+            spec = request.to_spec()
+        else:
+            response = session.synthesize(
+                spec, backend=args.backend, options=options
+            )
         engine_used = session._portfolio_engine or session._engine
         engine_jobs = engine_used.jobs if engine_used is not None else None
     if args.json:
@@ -419,6 +555,48 @@ def _cmd_synth(args: argparse.Namespace) -> int:
           f"({'provably minimum' if response.provably_minimum else 'approximate'}) "
           f"in {response.wall_time:.1f}s")
     print(response.result.assignment.to_text())
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.gen import (
+        FAMILY_KINDS,
+        LEVELS,
+        generated_specs,
+        ladder,
+        make_twins,
+        to_batch_request,
+    )
+    from repro.gen.workload import resolve_kinds
+
+    if args.list:
+        print(f"levels    : {', '.join(str(lv) for lv in LEVELS)}")
+        for kind in FAMILY_KINDS:
+            print(f"family    : {kind}")
+        return 0
+    kinds = resolve_kinds(args.family)
+    if args.twins:
+        specs = []
+        for family, seed in ladder(
+            kinds, levels=(args.level,), count=args.count,
+            base_seed=args.seed,
+        ):
+            pair = make_twins(
+                family.sample(seed), family.rng(seed, stream=1)
+            )
+            specs.extend((pair.sat, pair.unsat))
+    else:
+        specs = generated_specs(
+            kinds, level=args.level, base_seed=args.seed, count=args.count
+        )
+    batch = to_batch_request(specs, backend=args.backend)
+    text = batch.to_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(specs)} requests to {args.out}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -589,6 +767,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         npn=args.npn_dedup,
         verbose=args.verbose,
         preset=_solver_config_from_args(args),
+        dispatch=args.dispatch,
     )
     host, port = server.address
     print(f"janus serve: listening on http://{host}:{port}")
@@ -768,6 +947,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "drat-check": _cmd_drat_check,
         "faults": _cmd_faults,
         "lint": _cmd_lint,
+        "gen": _cmd_gen,
     }
     try:
         return handlers[args.command](args)

@@ -92,6 +92,8 @@ from repro.engine.suite import (
     synthesis_payload,
 )
 from repro.engine.wire import spec_snapshot
+from repro.errors import SolverError
+from repro.gen.dispatch import DispatchTable, classify
 from repro.engine.worker import (
     LmRequest,
     bound_from_payload,
@@ -171,6 +173,8 @@ class EngineStats:
     # would have repeated (the hit's recorded restart count)
     speculated_deep: int = 0  # grandchild-midpoint prefetches (depth 2)
     npn_hits: int = 0  # suite results served via NPN-class aliasing
+    dispatch_hits: int = 0  # races replaced by a decisive learned probe
+    dispatch_misses: int = 0  # races run blind (no rule, or probe indecisive)
     # "backend:preset" -> number of portfolio races that entry won
     preset_wins: dict = field(default_factory=dict)
 
@@ -214,6 +218,7 @@ class ParallelEngine(SerialProber):
         events: Optional[Callable[[EngineEvent], None]] = None,
         npn: bool = False,
         presets: Optional[Sequence[str]] = None,
+        dispatch: Union[DispatchTable, str, Path, None] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -248,6 +253,17 @@ class ParallelEngine(SerialProber):
             LruCache(memory) if (cache is not None and memory > 0) else None
         )
         self.events = EventEmitter(events)
+        # Learned portfolio dispatch: a DispatchTable (shared object) or a
+        # path to one.  When the engine resolves the path itself it owns
+        # the table and persists it on close; a shared object is the
+        # caller's to save (a server pool hands one table to N sessions).
+        self._dispatch_owner = dispatch is not None and not isinstance(
+            dispatch, DispatchTable
+        )
+        if self._dispatch_owner:
+            dispatch = DispatchTable(dispatch)
+        self.dispatch: Optional[DispatchTable] = dispatch
+        self._dispatch_classes: dict[tuple, str] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._prefetched: dict[str, Future] = {}
         self._closed = False
@@ -266,6 +282,13 @@ class ParallelEngine(SerialProber):
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if (
+            self._dispatch_owner
+            and self.dispatch is not None
+            and self.dispatch.path is not None
+            and not self._closed
+        ):
+            self.dispatch.save()
         self._closed = True
 
     def __enter__(self) -> "ParallelEngine":
@@ -423,6 +446,65 @@ class ParallelEngine(SerialProber):
         self._probe_finished(spec, outcome)
         return outcome
 
+    def _dispatch_class(self, spec: TargetSpec) -> str:
+        """The spec's dispatch class, memoized per function (classifying
+        costs a symmetry pass; the dichotomic loop probes one spec many
+        times)."""
+        memo_key = (
+            spec.tt.key(),
+            spec.dc.key() if spec.dc is not None else b"",
+        )
+        cls = self._dispatch_classes.get(memo_key)
+        if cls is None:
+            cls = classify(spec)
+            self._dispatch_classes[memo_key] = cls
+        return cls
+
+    def _solve_learned(
+        self,
+        spec: TargetSpec,
+        rows: int,
+        cols: int,
+        options: JanusOptions,
+        label: str,
+        rule_class: str,
+    ) -> Optional[LmOutcome]:
+        """Try the learned winner alone: one probe instead of the race.
+
+        Returns ``None`` (caller falls back to the blind race) when the
+        label does not parse against this engine's configuration or the
+        probe comes back indecisive.  Only presets in ``self.presets``
+        are accepted for the eager backend (and only ``default`` for the
+        lazy one): a stale table from a differently-configured run must
+        not smuggle foreign presets into this portfolio's cache
+        namespace.
+        """
+        backend, _, preset = label.partition(":")
+        if backend not in ("eager", "lazy") or not preset:
+            return None
+        if backend == "eager" and preset not in self.presets:
+            return None
+        if backend == "lazy" and preset != "default":
+            return None
+        try:
+            tuned = replace(options, solver=SolverConfig.preset(preset))
+        except SolverError:
+            return None
+        pool = self._pool
+        assert pool is not None
+        fut = pool.submit(
+            run_lm_request, LmRequest(spec, rows, cols, tuned, backend)
+        )
+        self.stats.dispatched += 1
+        outcome = outcome_from_payload(fut.result(), spec)
+        if outcome.status not in ("sat", "unsat"):
+            return None
+        self.stats.dispatch_hits += 1
+        wins = self.stats.preset_wins
+        wins[label] = wins.get(label, 0) + 1
+        self.dispatch.record(rule_class, label)
+        return outcome
+
     def _solve_portfolio(
         self,
         spec: TargetSpec,
@@ -434,11 +516,28 @@ class ParallelEngine(SerialProber):
         lazy CEGAR backend; the first decisive answer wins and the losers
         are cancelled.  The winner's ``backend:preset`` label is tallied
         in ``stats.preset_wins``.
+
+        With a :class:`DispatchTable` attached, the spec's class is looked
+        up first: a class with enough one-sided evidence launches only its
+        learned winner (one probe instead of ``len(presets) + 1``); an
+        indecisive learned probe, or a class without a rule yet, falls
+        back to the blind race, whose decisive winner feeds the table.
         """
         from concurrent.futures import FIRST_COMPLETED, wait
 
         pool = self._pool
         assert pool is not None
+        rule_class = None
+        if self.dispatch is not None:
+            rule_class = self._dispatch_class(spec)
+            label = self.dispatch.best(rule_class)
+            if label is not None:
+                outcome = self._solve_learned(
+                    spec, rows, cols, options, label, rule_class
+                )
+                if outcome is not None:
+                    return outcome
+            self.stats.dispatch_misses += 1
         entries = [("eager", name) for name in self.presets]
         entries.append(("lazy", "default"))
         futures: dict[Future, str] = {}
@@ -459,6 +558,8 @@ class ParallelEngine(SerialProber):
                     label = futures[fut]
                     wins = self.stats.preset_wins
                     wins[label] = wins.get(label, 0) + 1
+                    if rule_class is not None:
+                        self.dispatch.record(rule_class, label)
                     for other in pending:
                         if other.cancel():
                             self.stats.cancelled += 1

@@ -31,6 +31,32 @@ class SynthesisError(ReproError):
     """Raised when lattice synthesis cannot produce a valid result."""
 
 
+class UnsatisfiableSignatureError(SynthesisError):
+    """Raised when a published benchmark signature (#inputs, #prime
+    implicants, degree) is internally inconsistent or the seeded search
+    could not realize it.  Carries the structured signature so harnesses
+    can report *which* instance is broken rather than a bare message."""
+
+    def __init__(
+        self,
+        instance: str,
+        num_inputs: int,
+        num_products: int,
+        degree: int,
+        reason: str,
+    ) -> None:
+        self.instance = instance
+        self.num_inputs = num_inputs
+        self.num_products = num_products
+        self.degree = degree
+        self.reason = reason
+        super().__init__(
+            f"cannot synthesize signature for {instance!r} "
+            f"(#in={num_inputs}, #pi={num_products}, degree={degree}): "
+            f"{reason}"
+        )
+
+
 class BudgetExceeded(ReproError):
     """Raised when a configured resource budget (conflicts, time) runs out
     in a context where partial answers cannot be returned."""

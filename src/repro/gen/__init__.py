@@ -1,0 +1,59 @@
+"""The workload universe: seeded, parameterized instance generators.
+
+The paper's evaluation is frozen to the 48 reconstructed Table II slices
+(:mod:`repro.bench.instances`); this package widens it into families of
+reproducible synthetic targets with a difficulty ladder:
+
+* :mod:`repro.gen.families` — the :class:`Family` hierarchy (random
+  truth tables, PLA covers with don't-cares, autosymmetric and
+  D-reducible specs, multi-output specs, fault scenarios), each with a
+  ``sample(seed) -> TargetSpec`` contract;
+* :mod:`repro.gen.ladder` — the numbered difficulty levels mapping to
+  concrete family parameters, plus the family registry;
+* :mod:`repro.gen.twins` — SAT/UNSAT twin pairs at the realizability
+  frontier (realizable-at-bound spec vs. one nudged unrealizable at the
+  same shape);
+* :mod:`repro.gen.dispatch` — cheap spec classification and the
+  persistent :class:`DispatchTable` the portfolio engine consults to
+  skip blind preset races;
+* :mod:`repro.gen.workload` — batch builders bridging families to the
+  wire schema (``janus gen`` / ``POST /v1/batch``).
+
+Everything here is deterministic given ``(family, level, seed)``: the
+same call produces byte-identical specs in any process on any platform.
+See ``docs/workloads.md``.
+"""
+
+from repro.gen.dispatch import DispatchTable, classify
+from repro.gen.families import (
+    AutosymmetricFamily,
+    DReducibleFamily,
+    Family,
+    FaultFamily,
+    MultiOutputFamily,
+    PlaCoverFamily,
+    RandomTruthTableFamily,
+)
+from repro.gen.ladder import FAMILY_KINDS, LEVELS, ladder, make_family
+from repro.gen.twins import TwinPair, make_twins
+from repro.gen.workload import generated_specs, to_batch_request
+
+__all__ = [
+    "AutosymmetricFamily",
+    "DReducibleFamily",
+    "DispatchTable",
+    "FAMILY_KINDS",
+    "Family",
+    "FaultFamily",
+    "LEVELS",
+    "MultiOutputFamily",
+    "PlaCoverFamily",
+    "RandomTruthTableFamily",
+    "TwinPair",
+    "classify",
+    "generated_specs",
+    "ladder",
+    "make_family",
+    "make_twins",
+    "to_batch_request",
+]

@@ -1,0 +1,195 @@
+"""Learned portfolio dispatch: instance classes -> winning backend:preset.
+
+PR 7's portfolio mode races the eager encoding under several solver
+presets plus the lazy CEGAR backend and takes the first decisive answer,
+tallying the winner in ``EngineStats.preset_wins``.  This module closes
+the loop: specs are classified by cheap structural features
+(:func:`classify`), win tallies are accumulated *per class* in a
+:class:`DispatchTable`, and once a class has enough one-sided evidence
+the engine launches only the learned winner instead of the whole race —
+one probe instead of ``len(presets) + 1``.  An indecisive learned probe
+falls back to the blind race, so dispatch can reduce work but never
+change answerability.
+
+The table persists as a small JSON document (atomic rename on save), so
+a server or bench run warms it for the next one::
+
+    {"kind": "dispatch_table", "version": 1,
+     "classes": {"in=4|pi<=4|deg<=2|plain": {"eager:agile": 7}}}
+
+This module deliberately imports nothing from :mod:`repro.engine` — the
+engine imports *us*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import CacheError
+from repro.core.target import TargetSpec
+
+__all__ = ["DispatchTable", "classify"]
+
+DISPATCH_KIND = "dispatch_table"
+DISPATCH_VERSION = 1
+
+#: Symmetry-class detection costs a pass over the full truth table, so
+#: it is only folded into the class key for functions this small;
+#: wider specs share the ``wide`` symmetry bucket.
+SYMMETRY_LIMIT = 8
+
+_PI_EDGES = (2, 4, 8, 16)
+_DEGREE_EDGES = (2, 4, 6)
+
+
+def _bucket(value: int, edges: tuple[int, ...]) -> str:
+    for edge in edges:
+        if value <= edge:
+            return f"<={edge}"
+    return f">{edges[-1]}"
+
+
+def classify(spec: TargetSpec) -> str:
+    """The spec's dispatch class: cheap features, stable across runs.
+
+    Inputs, cover size and degree are bucketed (exact counts would
+    shatter the classes and nothing would ever reach the evidence
+    threshold); the symmetry feature separates autosymmetric and
+    D-reducible structure, which is exactly what the lazy backend and
+    the clause-hoarding presets react to.
+    """
+    from repro.core.autosymmetric import autosymmetry_degree
+    from repro.core.dreducible import is_dreducible
+
+    n = spec.num_inputs
+    if spec.is_constant:
+        sym = "const"
+    elif n > SYMMETRY_LIMIT:
+        sym = "wide"
+    elif autosymmetry_degree(spec.tt) > 0:
+        sym = "auto"
+    elif is_dreducible(spec.tt):
+        sym = "dred"
+    else:
+        sym = "plain"
+    return (
+        f"in={n}|pi{_bucket(spec.num_products, _PI_EDGES)}"
+        f"|deg{_bucket(spec.degree, _DEGREE_EDGES)}|{sym}"
+    )
+
+
+class DispatchTable:
+    """Per-class win tallies with a decision rule and JSON persistence.
+
+    ``best`` returns a label only once the class has ``min_wins`` wins
+    for its leader *and* the leader holds at least ``min_share`` of the
+    class total — thin or contested evidence keeps the blind race.  All
+    mutation is lock-guarded (server sessions share one table across
+    threads); concurrent savers last-write-win through an atomic
+    ``os.replace``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        min_wins: int = 3,
+        min_share: float = 0.6,
+    ) -> None:
+        self.path = Path(path).expanduser() if path is not None else None
+        self.min_wins = max(1, int(min_wins))
+        self.min_share = float(min_share)
+        self._lock = threading.Lock()
+        self._classes: dict[str, dict[str, int]] = {}
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    # -------------------------------------------------------------- tallies
+    def record(self, key: str, label: str, count: int = 1) -> None:
+        """Credit ``label`` (``backend:preset``) with wins for a class."""
+        with self._lock:
+            wins = self._classes.setdefault(str(key), {})
+            wins[str(label)] = wins.get(str(label), 0) + int(count)
+
+    def wins(self, key: str) -> dict[str, int]:
+        with self._lock:
+            return dict(self._classes.get(key, {}))
+
+    def best(self, key: str) -> Optional[str]:
+        """The learned rule for a class, or ``None`` while evidence is
+        thin or contested (ties break to the lexicographically smallest
+        label, so the rule is deterministic given the tallies)."""
+        with self._lock:
+            wins = self._classes.get(key)
+            if not wins:
+                return None
+            label = max(sorted(wins), key=lambda k: wins[k])
+            top, total = wins[label], sum(wins.values())
+            if top < self.min_wins or top < self.min_share * total:
+                return None
+            return label
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._classes)
+
+    # ---------------------------------------------------------- persistence
+    def to_payload(self) -> dict:
+        with self._lock:
+            return {
+                "kind": DISPATCH_KIND,
+                "version": DISPATCH_VERSION,
+                "classes": {
+                    key: dict(sorted(wins.items()))
+                    for key, wins in sorted(self._classes.items())
+                },
+            }
+
+    def to_json(self) -> str:
+        """Canonical form: sorted keys, compact separators."""
+        return json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    def _load(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CacheError(f"unreadable dispatch table {path}: {exc}")
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != DISPATCH_KIND
+            or payload.get("version") != DISPATCH_VERSION
+        ):
+            raise CacheError(
+                f"{path} is not a version-{DISPATCH_VERSION} dispatch table"
+            )
+        classes = payload.get("classes", {})
+        if not isinstance(classes, dict):
+            raise CacheError(f"{path}: 'classes' must be an object")
+        for key, wins in classes.items():
+            if not isinstance(wins, dict):
+                raise CacheError(f"{path}: class {key!r} must map to tallies")
+            self._classes[str(key)] = {
+                str(label): int(count) for label, count in wins.items()
+            }
+
+    def save(self, path: Union[str, Path, None] = None) -> Path:
+        """Atomically persist the table (to ``path`` or the load path)."""
+        target = Path(path).expanduser() if path is not None else self.path
+        if target is None:
+            raise CacheError("dispatch table has no path to save to")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+        tmp.write_text(self.to_json() + "\n", encoding="utf-8")
+        os.replace(tmp, target)
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"DispatchTable(path={str(self.path) if self.path else None!r}, "
+            f"classes={len(self)})"
+        )

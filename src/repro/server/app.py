@@ -310,6 +310,7 @@ class SynthesisServer(ThreadingHTTPServer):
         keep_jobs: int = 128,
         verbose: bool = False,
         preset: "str | SolverConfig | None" = None,
+        dispatch: Optional[str] = None,
     ) -> None:
         self.verbose = verbose
         # The server-wide default solver tuning (a preset name or a full
@@ -325,7 +326,8 @@ class SynthesisServer(ThreadingHTTPServer):
             tempfile.mkdtemp(prefix="janus-serve-") if cache is None else cache
         )
         self.pool = SessionPool(
-            size=pool, jobs=jobs, cache=self.cache_dir, npn=npn
+            size=pool, jobs=jobs, cache=self.cache_dir, npn=npn,
+            dispatch=dispatch,
         )
         self.jobs = JobManager(self.pool, keep=keep_jobs)
         self.started = time.monotonic()
@@ -426,7 +428,8 @@ class SynthesisServer(ThreadingHTTPServer):
             # pool's retired total so /v1/cache/stats stays truthful.
             def run_oneoff(_unused: Session):
                 with Session(
-                    jobs=jobs, cache=self.cache_dir, npn=self.pool.npn
+                    jobs=jobs, cache=self.cache_dir, npn=self.pool.npn,
+                    dispatch=self.pool.dispatch,
                 ) as session:
                     try:
                         return session.synthesize(request)
@@ -491,6 +494,7 @@ def make_server(
     npn: bool = False,
     verbose: bool = False,
     preset: "str | SolverConfig | None" = None,
+    dispatch: Optional[str] = None,
 ) -> SynthesisServer:
     """Build (and bind) a :class:`SynthesisServer`; ``port=0`` picks a
     free ephemeral port — read it back from ``server.address``."""
@@ -503,4 +507,5 @@ def make_server(
         npn=npn,
         verbose=verbose,
         preset=preset,
+        dispatch=dispatch,
     )

@@ -89,6 +89,27 @@ class TestSynthesized:
         with pytest.raises(KeyError):
             build_instance("nonexistent_99")
 
+    def test_impossible_signature_raises_structured_error(self):
+        from repro.errors import SynthesisError, UnsatisfiableSignatureError
+
+        # degree > #inputs used to surface as a raw numpy ValueError from
+        # cube sampling; now it names the instance and the violated rule.
+        with pytest.raises(UnsatisfiableSignatureError) as err:
+            synth_signature(3, 2, 5, name="bogus_row")
+        assert isinstance(err.value, SynthesisError)
+        assert err.value.instance == "bogus_row"
+        assert (err.value.num_inputs, err.value.num_products,
+                err.value.degree) == (3, 2, 5)
+        assert "more literals" in err.value.reason
+        assert "bogus_row" in str(err.value)
+
+    def test_degenerate_signature_raises_structured_error(self):
+        from repro.errors import UnsatisfiableSignatureError
+
+        with pytest.raises(UnsatisfiableSignatureError) as err:
+            synth_signature(4, 0, 2)
+        assert "at least 1" in err.value.reason
+
 
 class TestMultiInstances:
     def test_squar5_multi(self):

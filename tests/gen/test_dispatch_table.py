@@ -1,0 +1,81 @@
+"""DispatchTable and spec classification: thresholds and persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CacheError
+from repro.core.target import TargetSpec
+from repro.gen import DispatchTable, classify, make_family
+
+
+def test_classify_is_stable_and_cheap_featured():
+    spec = make_family("autosymmetric", 1).sample(0)
+    key = classify(spec)
+    assert key == classify(spec)
+    assert key.startswith(f"in={spec.num_inputs}|pi")
+    assert key.endswith("|auto")
+
+
+def test_classify_buckets_symmetry_classes():
+    dred = make_family("d-reducible", 1).sample(0)
+    assert classify(dred).endswith(("|dred", "|auto"))
+    const = TargetSpec.from_string("a + a'")
+    assert classify(const).endswith("|const")
+
+
+def test_best_needs_evidence():
+    table = DispatchTable(min_wins=3, min_share=0.6)
+    table.record("c", "eager:agile")
+    assert table.best("c") is None  # below min_wins
+    table.record("c", "eager:agile", count=2)
+    assert table.best("c") == "eager:agile"
+    # A contested class (leader below min_share) keeps the blind race.
+    table.record("c", "lazy:default", count=3)
+    assert table.best("c") is None
+    assert table.wins("c") == {"eager:agile": 3, "lazy:default": 3}
+    assert table.best("unknown-class") is None
+
+
+def test_best_tie_break_is_deterministic():
+    table = DispatchTable(min_wins=1, min_share=0.0)
+    table.record("c", "eager:default", count=2)
+    table.record("c", "eager:agile", count=2)
+    # Equal tallies break to the lexicographically smallest label.
+    assert table.best("c") == "eager:agile"
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "dispatch.json"
+    table = DispatchTable(path)
+    table.record("in=4|pi<=4|deg<=2|plain", "eager:agile", count=5)
+    saved = table.save()
+    assert saved == path
+    loaded = DispatchTable(path, min_wins=3, min_share=0.6)
+    assert loaded.wins("in=4|pi<=4|deg<=2|plain") == {"eager:agile": 5}
+    assert loaded.best("in=4|pi<=4|deg<=2|plain") == "eager:agile"
+    # Canonical JSON: a reload re-serializes to the same bytes.
+    assert loaded.to_json() == table.to_json()
+
+
+def test_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(CacheError):
+        DispatchTable(path)
+    path.write_text(json.dumps({"kind": "something-else"}), encoding="utf-8")
+    with pytest.raises(CacheError):
+        DispatchTable(path)
+    path.write_text(
+        json.dumps({"kind": "dispatch_table", "version": 1, "classes": []}),
+        encoding="utf-8",
+    )
+    with pytest.raises(CacheError):
+        DispatchTable(path)
+
+
+def test_save_without_path_raises():
+    with pytest.raises(CacheError):
+        DispatchTable().save()

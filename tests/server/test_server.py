@@ -78,6 +78,9 @@ class TestInfoEndpoints:
         payload = client.cache_stats()
         assert payload["kind"] == "cache_stats"
         assert "solver_calls" in payload["engine"]
+        # Learned-dispatch accounting is part of the served counters.
+        assert payload["engine"]["dispatch_hits"] == 0
+        assert payload["engine"]["dispatch_misses"] == 0
         assert payload["pool"]["size"] == 2
         assert payload["disk"] is not None
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -259,3 +261,76 @@ class TestLintCommand:
 
     def test_lint_unknown_checker_is_usage_error(self, capsys):
         assert main(["lint", "--only", "nonsense"]) == 2
+
+
+class TestGenCommand:
+    def test_gen_args(self):
+        args = build_parser().parse_args(
+            ["gen", "--family", "random-tt", "--level", "2", "--seed", "9"]
+        )
+        assert args.family == "random-tt"
+        assert args.level == 2
+        assert args.seed == 9
+        assert args.count == 1
+        assert not args.twins
+
+    def test_gen_list_catalogs_families(self, capsys):
+        assert main(["gen", "--list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("random-tt", "pla-cover", "autosymmetric",
+                     "d-reducible", "multi-output", "fault"):
+            assert kind in out
+
+    def test_gen_output_is_byte_reproducible(self, capsys):
+        argv = ["gen", "--family", "mixed", "--level", "0",
+                "--seed", "3", "--count", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["kind"] == "batch_request"
+
+    def test_gen_unknown_family_is_a_clean_error(self, capsys):
+        assert main(["gen", "--family", "nonsense"]) == 1
+        assert "unknown family kind" in capsys.readouterr().err
+
+    def test_gen_pipes_into_synth_request(self, tmp_path, capsys):
+        doc = tmp_path / "batch.json"
+        assert main(["gen", "--family", "random-tt", "--level", "0",
+                     "--seed", "0", "--count", "2",
+                     "--out", str(doc)]) == 0
+        capsys.readouterr()
+        assert main(["synth", "--request", str(doc),
+                     "--max-conflicts", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "random-tt-L0:0" in out and "random-tt-L0:1" in out
+        assert "switches" in out
+
+    def test_gen_synth_request_json_is_a_batch_response(
+        self, tmp_path, capsys
+    ):
+        doc = tmp_path / "batch.json"
+        assert main(["gen", "--family", "pla-cover", "--level", "0",
+                     "--seed", "1", "--out", str(doc)]) == 0
+        capsys.readouterr()
+        assert main(["synth", "--request", str(doc), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "batch_response"
+        assert payload["responses"][0]["name"] == "pla-cover-L0:1"
+
+    def test_dispatch_summary_line_appears_when_learning(
+        self, tmp_path, capsys
+    ):
+        doc = tmp_path / "batch.json"
+        table = tmp_path / "dispatch.json"
+        assert main(["gen", "--family", "random-tt", "--level", "1",
+                     "--seed", "1", "--backend", "portfolio",
+                     "--out", str(doc)]) == 0
+        capsys.readouterr()
+        assert main(["synth", "--request", str(doc),
+                     "--dispatch", str(table),
+                     "--max-conflicts", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch  : learned hits/misses=" in out
+        assert table.exists()  # the CLI session owns and persists it

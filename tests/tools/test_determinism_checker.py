@@ -163,3 +163,70 @@ def test_real_scope_is_clean(repo_root):
 
     project = Project(root=repo_root, config=DEFAULT_CONFIG)
     assert DeterminismChecker().check(project) == []
+
+
+def test_gen_package_is_in_default_scope(make_project):
+    # A true positive inside src/repro/gen with no config at all: the
+    # generator package is part of the checker's *default* scope.
+    import textwrap as tw
+
+    project = make_project(
+        {
+            "src/repro/gen/bad.py": tw.dedent(
+                """\
+                import os
+
+                def salt():
+                    return os.urandom(8)
+                """
+            )
+        }
+    )
+    findings = DeterminismChecker().check(project)
+    assert len(findings) == 1
+    assert "os.urandom" in findings[0].message
+
+
+def test_unseeded_default_rng_fires(make_project):
+    findings = run(
+        make_project,
+        """\
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng().integers(0, 4)
+        """,
+    )
+    assert len(findings) == 1
+    assert "unseeded" in findings[0].message
+    assert "OS entropy" in findings[0].message
+
+
+def test_seeded_default_rng_is_sanctioned(make_project):
+    findings = run(
+        make_project,
+        """\
+        import numpy as np
+
+        def draw(seed):
+            return np.random.default_rng((0x4A414E55, seed)).integers(0, 4)
+        """,
+    )
+    assert findings == []
+
+
+def test_seeded_random_constructor_is_sanctioned(make_project):
+    findings = run(
+        make_project,
+        """\
+        import random
+
+        def stream(seed):
+            return random.Random(seed)
+
+        def bad_stream():
+            return random.Random()
+        """,
+    )
+    assert len(findings) == 1
+    assert "unseeded random.Random()" in findings[0].message

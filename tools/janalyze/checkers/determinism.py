@@ -37,6 +37,7 @@ DEFAULT_PATHS = [
     "src/repro/sat",
     "src/repro/engine/wire.py",
     "src/repro/engine/signature.py",
+    "src/repro/gen",
 ]
 
 #: Exact dotted callables that inject wall-clock time or entropy.
@@ -54,6 +55,12 @@ FORBIDDEN_PREFIXES = ("random.", "secrets.", "numpy.random.")
 #: Monotonic timers are sanctioned: they feed only the volatile
 #: ``wall_time`` field, which byte-identity comparisons exclude.
 ALLOWED_CALLS = {"time.monotonic", "time.perf_counter"}
+
+#: RNG constructors that are fine *when seeded*: the generators in
+#: ``repro.gen`` build their streams from explicit seed tuples, which is
+#: the whole reproducibility contract.  Called with no arguments they
+#: fall back to OS entropy and are treated like any other entropy call.
+SEEDED_CONSTRUCTORS = {"random.Random", "numpy.random.default_rng"}
 
 
 def _is_set_expr(node: ast.AST, aliases: dict[str, str]) -> bool:
@@ -78,22 +85,24 @@ class DeterminismChecker(Checker):
         forbidden = set(cfg.get("forbidden_calls", FORBIDDEN_CALLS))
         prefixes = tuple(cfg.get("forbidden_prefixes", FORBIDDEN_PREFIXES))
         allowed = set(cfg.get("allowed_calls", ALLOWED_CALLS))
+        seeded = set(cfg.get("seeded_constructors", SEEDED_CONSTRUCTORS))
         for sf in self.scoped_files(project, DEFAULT_PATHS):
             aliases = import_aliases(sf.tree)
             for node in ast.walk(sf.tree):
                 if isinstance(node, ast.Call):
                     hit = self._forbidden_call(
-                        node, aliases, forbidden, prefixes, allowed
+                        node, aliases, forbidden, prefixes, allowed, seeded
                     )
                     if hit and not self._allowed(sf, node):
-                        findings.append(
-                            self.finding(
-                                sf,
-                                node,
-                                f"call to {hit}() injects nondeterminism "
-                                "into a byte-identity path",
-                            )
+                        name, unseeded = hit
+                        message = (
+                            f"unseeded {name}() falls back to OS entropy "
+                            "— pass an explicit seed"
+                            if unseeded
+                            else f"call to {name}() injects nondeterminism "
+                            "into a byte-identity path"
                         )
+                        findings.append(self.finding(sf, node, message))
                 for iter_node, how in self._set_iterations(node, aliases):
                     if not self._allowed(sf, iter_node):
                         findings.append(
@@ -114,7 +123,10 @@ class DeterminismChecker(Checker):
         forbidden: set[str],
         prefixes: tuple[str, ...],
         allowed: set[str],
-    ) -> Optional[str]:
+        seeded: set[str] = frozenset(),
+    ) -> Optional[tuple[str, bool]]:
+        """The resolved forbidden name and whether it was an *unseeded*
+        RNG constructor, or ``None`` when the call is fine."""
         name = dotted_name(node.func)
         if name is None:
             return None
@@ -122,10 +134,17 @@ class DeterminismChecker(Checker):
         resolved = aliases.get(head, head) + ("." + rest if rest else "")
         if resolved in allowed:
             return None
+        # Seeded-RNG constructors are checked before the prefixes that
+        # would otherwise swallow them: with any argument the caller
+        # injected the seed, without one the RNG seeds from OS entropy.
+        if resolved in seeded:
+            if node.args or node.keywords:
+                return None
+            return resolved, True
         if resolved in forbidden:
-            return resolved
+            return resolved, False
         if resolved.startswith(prefixes):
-            return resolved
+            return resolved, False
         return None
 
     def _set_iterations(

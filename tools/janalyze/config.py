@@ -40,6 +40,7 @@ DEFAULT_CONFIG: dict = {
                 "src/repro/sat",
                 "src/repro/engine/wire.py",
                 "src/repro/engine/signature.py",
+                "src/repro/gen",
             ],
         },
         "pickle-boundary": {
