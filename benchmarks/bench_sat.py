@@ -7,19 +7,34 @@ pytest-benchmark ``bench_*`` functions):
 * what does DRUP proof logging cost on an UNSAT probe?
 * how does the solver scale on the classic pigeonhole family?
 
-Plus a standalone CLI mode, ``--sweep``: run every named
-:class:`~repro.sat.solver.SolverConfig` preset over the realizability
-frontier workload (binary-searched minimal width per row count, the
-bulk-probing pattern the engine leans on) and report per-preset
-propagations / conflicts / wall clock.  This is the measured basis for
-the shipped default preset; results go to ``BENCH_pr7.json``
-(``--json-out``) for the CI perf-smoke artifact.
+Plus two standalone CLI modes:
+
+``--sweep``
+    Run every named :class:`~repro.sat.solver.SolverConfig` preset over
+    the realizability frontier workload (binary-searched minimal width
+    per row count, the bulk-probing pattern the engine leans on) and
+    report per-preset propagations / conflicts / wall clock.  This is
+    the measured basis for the shipped default preset; results go to
+    ``BENCH_pr7.json`` (``--json-out``) for the CI perf-smoke artifact.
+
+``--throughput``
+    Propagations-per-second microbench of the solver cores on a fixed
+    seeded ``repro.gen`` workload: the vendored pre-PR solver
+    (``benchmarks/_legacy_sat.py``, the machine-relative baseline), the
+    rewritten ``pure`` core, and the compiled ``native`` core when the
+    extension is built.  Engines are interleaved across ``--reps``
+    rounds (best-of to shed scheduler noise) and compared as *ratios*,
+    never absolute numbers.  Results go to ``BENCH_pr9.json``; the run
+    fails (exit 1) if the native core is detected but below 5x the pure
+    core, or if the pure rewrite regresses below the legacy baseline.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_sat.py --sweep --limit 4
     PYTHONPATH=src python benchmarks/bench_sat.py \
         --sweep --limit 2 --max-conflicts 8000 --json-out BENCH_pr7.json
+    PYTHONPATH=src python benchmarks/bench_sat.py \
+        --throughput --reps 3 --json-out BENCH_pr9.json
 """
 
 from __future__ import annotations
@@ -318,6 +333,138 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------ throughput CLI
+def _throughput_workload(args: argparse.Namespace) -> list:
+    """A fixed, seeded clause-list workload for the core microbench.
+
+    LM encodings of generated specs over a small grid ladder plus the
+    Fig. 4 SAT/UNSAT pair — deterministic given the generator knobs, so
+    every engine solves the exact same CNFs and a run is comparable
+    with itself across engines (never across machines; see the ratios).
+    """
+    from repro.gen import generated_specs
+
+    workload = [lm_cnf(3, 4), lm_cnf(3, 3)]
+    specs = generated_specs(
+        args.gen_kinds, level=args.gen_level,
+        base_seed=args.gen_seed, count=args.gen_count,
+    )
+    options = EncodeOptions()
+    for spec in specs:
+        for rows, cols in ((3, 4), (4, 5)):
+            encoding, _ = best_encoding(spec, rows, cols, options)
+            if encoding is not None:
+                workload.append(encoding.cnf)
+    return [list(cnf) for cnf in workload]
+
+
+def _time_engine(make_solver, workload, max_conflicts: int):
+    """Solve the whole workload once; return (wall_seconds, props)."""
+    t0 = time.perf_counter()
+    props = 0
+    for clauses in workload:
+        solver = make_solver(max_conflicts)
+        ok = True
+        for clause in clauses:
+            ok = solver.add_clause(clause) and ok
+        if ok:
+            solver.solve()
+        props += solver.stats.propagations
+    return time.perf_counter() - t0, props
+
+
+def _run_throughput(args: argparse.Namespace) -> int:
+    from benchmarks._legacy_sat import LegacyCdclSolver
+    from repro.sat import _native
+    from repro.sat.solver import CdclSolver
+
+    workload = _throughput_workload(args)
+    n_clauses = sum(len(w) for w in workload)
+    print(f"== core throughput: {len(workload)} CNFs, {n_clauses} clauses, "
+          f"reps={args.reps}, max_conflicts={args.max_conflicts}")
+
+    engines = {
+        "legacy": lambda mc: LegacyCdclSolver(max_conflicts=mc),
+        "pure": lambda mc: CdclSolver(max_conflicts=mc, core="pure"),
+    }
+    native_detected = _native.native_available()
+    if native_detected:
+        engines["native"] = lambda mc: CdclSolver(
+            max_conflicts=mc, core="native"
+        )
+    else:
+        print("native core not built (pure-only run); "
+              f"import error: {_native.native_import_error()}")
+
+    # Interleave engines within each rep so drift (thermal, scheduler)
+    # hits all of them alike; keep the best rep per engine.
+    results = {name: {"wall": float("inf"), "props": 0} for name in engines}
+    for rep in range(args.reps):
+        for name, make_solver in engines.items():
+            wall, props = _time_engine(make_solver, workload,
+                                       args.max_conflicts)
+            row = results[name]
+            if wall < row["wall"]:
+                row["wall"] = wall
+            row["props"] = props  # deterministic per engine, rep-invariant
+
+    print(f"{'engine':>8}  {'props':>12}  {'wall':>8}  {'props/s':>12}")
+    for name, row in results.items():
+        row["props_per_sec"] = row["props"] / row["wall"]
+        print(f"{name:>8}  {row['props']:>12}  {row['wall']:>7.2f}s  "
+              f"{row['props_per_sec']:>12.0f}")
+
+    pure_pps = results["pure"]["props_per_sec"]
+    legacy_pps = results["legacy"]["props_per_sec"]
+    ratios = {"pure_vs_legacy": pure_pps / legacy_pps}
+    if native_detected:
+        ratios["native_vs_pure"] = (
+            results["native"]["props_per_sec"] / pure_pps
+        )
+    print("\nratios (this machine, this run):")
+    for key, value in ratios.items():
+        print(f"  {key}: {value:.2f}x")
+
+    # Hard gates.  The 0.95 floor on pure-vs-legacy absorbs run-to-run
+    # scheduler noise; a genuine regression of the rewrite shows up far
+    # below it (the rewrite measures >=1.2x on this workload).
+    failures = []
+    if ratios["pure_vs_legacy"] < 0.95:
+        failures.append(
+            f"pure core regressed below the pre-rewrite baseline: "
+            f"{ratios['pure_vs_legacy']:.2f}x < 0.95x"
+        )
+    if native_detected and ratios["native_vs_pure"] < 5.0:
+        failures.append(
+            f"native core below the 5x gate: "
+            f"{ratios['native_vs_pure']:.2f}x < 5.0x"
+        )
+
+    report = {
+        "options": {
+            "reps": args.reps,
+            "max_conflicts": args.max_conflicts,
+            "gen_kinds": args.gen_kinds,
+            "gen_level": args.gen_level,
+            "gen_seed": args.gen_seed,
+            "gen_count": args.gen_count,
+        },
+        "workload": {"cnfs": len(workload), "clauses": n_clauses},
+        "native_detected": native_detected,
+        "engines": results,
+        "ratios": ratios,
+        "failures": failures,
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="SolverConfig preset sweep (the bench_* functions in "
@@ -326,6 +473,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sweep", action="store_true",
                         help="run the preset matrix over the realizability "
                         "frontier workload")
+    parser.add_argument("--throughput", action="store_true",
+                        help="props/sec microbench of the solver cores "
+                        "(legacy baseline vs pure vs native)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="interleaved repetitions per engine "
+                        "(--throughput; best rep wins)")
+    parser.add_argument("--gen-kinds", default="mixed",
+                        help="generator family selector for the "
+                        "--throughput workload")
     parser.add_argument("--profile", default="fast",
                         choices=("fast", "medium", "full"))
     parser.add_argument("--limit", type=int, default=4,
@@ -348,8 +504,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write machine-readable results "
                         "(BENCH_pr7.json)")
     args = parser.parse_args(argv)
+    if args.sweep and args.throughput:
+        parser.error("--sweep and --throughput are mutually exclusive")
+    if args.throughput:
+        return _run_throughput(args)
     if not args.sweep:
-        parser.error("pass --sweep (the only CLI mode)")
+        parser.error("pass --sweep or --throughput")
     return _run_sweep(args)
 
 

@@ -1,0 +1,35 @@
+"""Build glue for the optional native solver core.
+
+The repository is a plain ``PYTHONPATH=src`` layout and needs no
+installation step; this file exists solely to compile the C extension
+``repro.sat._native._kernel`` in place::
+
+    python setup.py build_ext --inplace
+
+(or ``make native``).  With ``package_dir = {"": "src"}`` the built
+``.so`` lands next to ``src/repro/sat/_native/__init__.py``, where the
+auto-detect seam picks it up on the next interpreter start.  Everything
+works without it — the pure-Python core is the reference
+implementation — so no part of the toolchain requires this to succeed.
+
+The extension is deliberately built WITHOUT ``-ffast-math`` or any
+other flag that changes IEEE-754 semantics: the parity guarantee
+(byte-identical trajectories between cores) relies on C doubles
+behaving exactly like CPython floats.
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    name="repro-native-kernel",
+    version="1.4.0",
+    package_dir={"": "src"},
+    packages=[],
+    ext_modules=[
+        Extension(
+            "repro.sat._native._kernel",
+            sources=["src/repro/sat/_native/_kernel.c"],
+            extra_compile_args=["-O2", "-std=c99"],
+        )
+    ],
+)

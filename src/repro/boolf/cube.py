@@ -200,17 +200,22 @@ class Cube:
         )
 
     def minterms(self) -> Iterator[int]:
-        """Yield every minterm contained in the cube (2**free_vars of them)."""
-        free = [
-            v for v in range(self.num_vars) if not (self.pos | self.neg) >> v & 1
-        ]
+        """Yield every minterm contained in the cube (2**free_vars of them).
+
+        Enumerates submasks of the free-variable mask directly with the
+        ``(sub - free) & free`` bit trick — no per-bit reassembly loop —
+        in increasing numeric order (the same order the old
+        combo-expansion produced, so downstream iteration is unchanged).
+        """
+        mask = (1 << self.num_vars) - 1
+        free = mask & ~(self.pos | self.neg)
         base = self.pos
-        for combo in range(1 << len(free)):
-            m = base
-            for k, v in enumerate(free):
-                if combo >> k & 1:
-                    m |= 1 << v
-            yield m
+        sub = 0
+        while True:
+            yield base | sub
+            if sub == free:
+                return
+            sub = (sub - free) & free
 
     def size(self) -> int:
         """Number of minterms contained in the cube."""

@@ -22,6 +22,61 @@ __all__ = ["TruthTable"]
 
 _MAX_VARS = 24  # 16M entries; a deliberate guard against accidental blowups
 
+# ------------------------------------------------------- int-packed kernels
+# A table over n variables fits in one Python int of 2**n bits (bit m =
+# value at minterm m).  Arbitrary-precision AND/OR on that single int
+# beats allocating an np.arange(2**n) index vector per call, which is
+# what the cube operations below used to do.  The masks only exist
+# transiently; the public representation stays the numpy bool array.
+
+_VAR_PATTERN_CACHE: dict[tuple[int, int], int] = {}
+
+
+def _var_pattern(var: int, num_vars: int) -> int:
+    """The projection ``x_var`` as a 2**num_vars-bit mask (bit m set iff
+    bit ``var`` of m is set) — 0xAAAA.., 0xCCCC.., 0xF0F0.. patterns,
+    built by doubling instead of an index-vector comparison."""
+    key = (var, num_vars)
+    cached = _VAR_PATTERN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    block = 1 << var
+    pattern = ((1 << block) - 1) << block  # [block zeros][block ones]
+    span = block << 1
+    total = 1 << num_vars
+    while span < total:
+        pattern |= pattern << span
+        span <<= 1
+    _VAR_PATTERN_CACHE[key] = pattern
+    return pattern
+
+
+def _cube_bits(pos: int, neg: int, num_vars: int) -> int:
+    """Characteristic mask of the cube ``(pos, neg)`` over ``num_vars``."""
+    acc = (1 << (1 << num_vars)) - 1
+    lits = pos | neg
+    var = 0
+    while lits:
+        if lits & 1:
+            pattern = _var_pattern(var, num_vars)
+            acc = acc & pattern if pos >> var & 1 else acc ^ (acc & pattern)
+        lits >>= 1
+        var += 1
+    return acc
+
+
+def _mask_to_array(mask: int, num_vars: int) -> np.ndarray:
+    size = 1 << num_vars
+    buf = mask.to_bytes((size + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(buf, dtype=np.uint8), bitorder="little")
+    return bits[:size].astype(bool)
+
+
+def _array_to_mask(values: np.ndarray) -> int:
+    return int.from_bytes(
+        np.packbits(values, bitorder="little").tobytes(), "little"
+    )
+
 
 class TruthTable:
     """A completely specified Boolean function of ``num_vars`` inputs."""
@@ -63,19 +118,17 @@ class TruthTable:
 
     @classmethod
     def from_cube(cls, cube: Cube) -> "TruthTable":
-        idx = np.arange(1 << cube.num_vars, dtype=np.int64)
-        hit = ((idx & cube.pos) == cube.pos) & ((idx & cube.neg) == 0)
-        return cls(hit, cube.num_vars)
+        hit = _cube_bits(cube.pos, cube.neg, cube.num_vars)
+        return cls(_mask_to_array(hit, cube.num_vars), cube.num_vars)
 
     @classmethod
     def from_cubes(cls, cubes: Sequence[Cube], num_vars: int) -> "TruthTable":
-        idx = np.arange(1 << num_vars, dtype=np.int64)
-        values = np.zeros(1 << num_vars, dtype=bool)
+        acc = 0
         for cube in cubes:
             if cube.num_vars != num_vars:
                 raise DimensionError("cube universe mismatch")
-            values |= ((idx & cube.pos) == cube.pos) & ((idx & cube.neg) == 0)
-        return cls(values, num_vars)
+            acc |= _cube_bits(cube.pos, cube.neg, num_vars)
+        return cls(_mask_to_array(acc, num_vars), num_vars)
 
     @classmethod
     def from_function(
@@ -174,9 +227,8 @@ class TruthTable:
 
     def cube_is_implicant(self, cube: Cube) -> bool:
         """True iff every minterm of ``cube`` is in the onset."""
-        idx = np.arange(1 << self.num_vars, dtype=np.int64)
-        hit = ((idx & cube.pos) == cube.pos) & ((idx & cube.neg) == 0)
-        return bool(self.values[hit].all())
+        hit = _cube_bits(cube.pos, cube.neg, self.num_vars)
+        return hit & _array_to_mask(self.values) == hit
 
     # -------------------------------------------------------------- algebra
     def _check(self, other: "TruthTable") -> None:

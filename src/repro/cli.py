@@ -439,6 +439,10 @@ def _engine_summary(stats: dict, jobs) -> str:
         f"restarts avoided={stats.get('restarts_avoided', 0)} "
         f"npn hits={stats.get('npn_hits', 0)}"
     )
+    cores = stats.get("cores") or {}
+    if cores:
+        tally = " ".join(f"{k}={v}" for k, v in sorted(cores.items()))
+        text += f"\ncore      : probes by core {tally}"
     wins = stats.get("preset_wins") or {}
     if wins:
         tally = " ".join(f"{k}={v}" for k, v in sorted(wins.items()))
@@ -546,8 +550,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         return 0
     if engine_wanted and response.stats is not None:
         print(_engine_summary(response.stats, engine_jobs))
+    from repro.sat.solver import available_cores, resolve_core_class
+
     print(f"target    : {spec.name} (#in={spec.num_inputs}, "
           f"#pi={spec.num_products}, degree={spec.degree})")
+    print(f"solver    : core={resolve_core_class().core_name} "
+          f"(available: {', '.join(available_cores())})")
     print(f"isop      : {spec.isop.to_string()}")
     print(f"bounds    : lb={response.initial_lower_bound}, "
           f"initial ub={response.initial_upper_bound} {response.upper_bounds}")

@@ -103,6 +103,7 @@ class LmAttempt:
     restarts: int = 0  # solver restarts this probe performed
     reused: bool = False  # answered by a live per-instance solver / memo
     pruned: bool = False  # answered by shape domination, no solver at all
+    core: str = "pure"  # propagation core that served the probe
 
 
 @dataclass
@@ -256,6 +257,7 @@ def solve_lm(
     attempt.conflicts = result.stats.conflicts
     attempt.propagations = result.stats.propagations
     attempt.restarts = result.stats.restarts
+    attempt.core = result.stats.core
     attempt.status = result.status
     attempt.wall_time = time.monotonic() - start
     if not result.is_sat:
@@ -607,6 +609,7 @@ class IncrementalProber(SerialProber):
         attempt.conflicts = solver.stats.conflicts - before_conflicts
         attempt.propagations = solver.stats.propagations - before_props
         attempt.restarts = solver.stats.restarts - before_restarts
+        attempt.core = solver.stats.core
         if result.is_sat and accept_sat:
             self.stats.family_sat += 1
             state.record_realized(rows, cols)
@@ -705,6 +708,7 @@ class IncrementalProber(SerialProber):
         attempt.conflicts += result.stats.conflicts
         attempt.propagations += result.stats.propagations
         attempt.restarts += result.stats.restarts
+        attempt.core = result.stats.core
         attempt.status = result.status
         attempt.wall_time = time.monotonic() - start
         if result.is_unsat:

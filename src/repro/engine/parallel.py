@@ -177,6 +177,8 @@ class EngineStats:
     dispatch_misses: int = 0  # races run blind (no rule, or probe indecisive)
     # "backend:preset" -> number of portfolio races that entry won
     preset_wins: dict = field(default_factory=dict)
+    # propagation-core name -> number of computed probes it served
+    cores: dict = field(default_factory=dict)
 
     def merge(self, other: dict) -> None:
         """Fold a stats snapshot (``dataclasses.asdict`` form) into self."""
@@ -410,6 +412,14 @@ class ParallelEngine(SerialProber):
         self.stats.conflicts += attempt.conflicts
         self.stats.propagations += attempt.propagations
         self.stats.solver_restarts += attempt.restarts
+        if attempt.status != "structural" and not (
+            attempt.cached or attempt.pruned
+        ):
+            # Structural prechecks decide without constructing a solver,
+            # so no propagation core served them — keep them out of the
+            # capacity tally.
+            core = attempt.core
+            self.stats.cores[core] = self.stats.cores.get(core, 0) + 1
         if attempt.reused:
             self.stats.reuse_hits += 1
         if attempt.pruned:

@@ -88,6 +88,7 @@ def attempt_to_wire(attempt: LmAttempt) -> dict:
         "restarts": attempt.restarts,
         "reused": attempt.reused,
         "pruned": attempt.pruned,
+        "core": attempt.core,
     }
 
 
@@ -107,6 +108,10 @@ def attempt_from_wire(payload: dict, cached: bool = False) -> LmAttempt:
         restarts=payload.get("restarts", 0),
         reused=payload.get("reused", False),
         pruned=payload.get("pruned", False),
+        # revision 5: which propagation core served the probe.  Older
+        # entries predate the native kernel, so they were pure by
+        # construction.
+        core=payload.get("core", "pure"),
     )
 
 

@@ -1,0 +1,48 @@
+"""Auto-detect seam for the compiled solver core.
+
+This package is the **only** place in the tree allowed to import the
+optional C extension ``repro.sat._native._kernel`` (the janalyze
+``dual-source-drift`` checker enforces that).  Importing it never
+fails: when the extension was not built — no compiler, a fresh
+checkout, a different Python ABI — ``NativeCore`` is simply ``None``
+and the solver falls back to the pure-Python twin
+(:class:`repro.sat.core_pure.PurePythonCore`), which is always
+importable and produces byte-identical trajectories.
+
+Detection happens once, at import time.  The ``JANUS_NATIVE``
+environment variable overrides *selection* (not detection) per solver
+construction — see :func:`repro.sat.solver.resolve_core_class`:
+
+* ``JANUS_NATIVE=0`` — never use the native core, even if built;
+* ``JANUS_NATIVE=1`` — require it (constructing a solver raises
+  :class:`~repro.errors.SolverError` if the extension is missing);
+* unset or anything else — use the native core when available.
+
+Build it with ``make native`` (or ``python setup.py build_ext
+--inplace``) from the repository root; see README "Building the
+native core".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["NativeCore", "native_available", "native_import_error"]
+
+NativeCore = None
+_IMPORT_ERROR: Optional[str] = None
+
+try:
+    from repro.sat._native._kernel import NativeCore  # type: ignore[no-redef]
+except ImportError as exc:  # extension not built for this interpreter
+    _IMPORT_ERROR = str(exc)
+
+
+def native_available() -> bool:
+    """True when the compiled kernel was importable at package import."""
+    return NativeCore is not None
+
+
+def native_import_error() -> Optional[str]:
+    """The import failure message when the kernel is unavailable."""
+    return _IMPORT_ERROR

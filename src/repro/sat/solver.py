@@ -1,4 +1,4 @@
-"""A CDCL SAT solver in pure Python.
+"""A CDCL SAT solver with swappable propagation cores.
 
 This is the library's replacement for glucose 4.1 (the solver the paper
 uses): conflict-driven clause learning with
@@ -15,24 +15,51 @@ are signed DIMACS integers.  ``solve`` returns a :class:`SolveResult` whose
 ``status`` is ``"sat"``, ``"unsat"`` or ``"unknown"`` (budget ran out —
 the paper treats solver timeouts as "not realizable", and the JANUS driver
 mirrors that policy explicitly).
+
+Architecture: :class:`CdclSolver` is a *driver* — it owns the search
+policy (decisions, restarts, budgets, the reduce schedule, proof
+logging, assumption handling) but none of the hot loops.  Those live
+behind the **PropagationCore seam**: an int-packed kernel interface
+(:data:`CORE_INTERFACE`) with two byte-identical implementations,
+
+* :class:`repro.sat.core_pure.PurePythonCore` — always available, and
+  itself a rewrite of the historical loop onto a flat clause arena with
+  blocker watch lists;
+* ``repro.sat._native.NativeCore`` — an optional C extension compiled
+  from ``src/repro/sat/_native/_kernel.c``, auto-detected at import
+  with graceful fallback (see :mod:`repro.sat._native`).
+
+Core selection: the ``core=`` constructor argument wins, then the
+``JANUS_NATIVE`` environment variable (``0`` forces pure, ``1``
+requires native), then auto (native when built).  Both cores produce
+the same decisions, the same learnt clauses and the same
+:class:`SolverStats` on every instance — the parity suite
+(``tests/sat/test_native_parity.py``) and DRAT proof checking pin that
+down — so every byte-identity property of the engine holds no matter
+which core served a probe.  ``SolverStats.core`` records which one did.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import SolverError
+from repro.sat.core_pure import PurePythonCore
+from repro.sat import _native
 
 __all__ = [
     "CdclSolver",
+    "CORE_INTERFACE",
     "SOLVER_PRESETS",
     "SolverConfig",
     "SolveRequest",
     "SolveResult",
     "SolverStats",
+    "available_cores",
+    "resolve_core_class",
     "solve_cnf",
     "solve_request",
 ]
@@ -45,6 +72,77 @@ _KEEP = object()
 
 _RESTART_STRATEGIES = ("luby", "geometric")
 _PHASE_MODES = ("save", "off")
+
+#: The method surface a propagation core must implement.  The pure and
+#: native twins are held to this list by the janalyze
+#: ``dual-source-drift`` checker and the parity test matrix.
+CORE_INTERFACE: tuple[str, ...] = (
+    "add_var",
+    "num_vars",
+    "value",
+    "var_value",
+    "phase_of",
+    "decision_level",
+    "propagation_count",
+    "num_learnts",
+    "model",
+    "pick_branch",
+    "decide_next",
+    "decay",
+    "attach",
+    "clause_lits",
+    "enqueue",
+    "new_level",
+    "propagate",
+    "backtrack",
+    "analyze",
+    "analyze_final",
+    "reduce_db",
+)
+
+
+def available_cores() -> tuple[str, ...]:
+    """Names of the propagation cores importable in this process."""
+    if _native.native_available():
+        return ("pure", "native")
+    return ("pure",)
+
+
+def resolve_core_class(core: Optional[str] = None):
+    """Pick the propagation-core class for a new solver.
+
+    ``core`` may be ``"pure"``, ``"native"`` or ``None`` (auto).  Auto
+    consults ``JANUS_NATIVE`` (``0`` forces pure, ``1`` requires
+    native) and otherwise uses the native kernel when it was importable
+    at package import, falling back to the pure twin.
+    """
+    if core is None:
+        env = os.environ.get("JANUS_NATIVE", "").strip()
+        if env == "0":
+            return PurePythonCore
+        if env == "1":
+            if _native.NativeCore is None:
+                raise SolverError(
+                    "JANUS_NATIVE=1 but the native kernel is not built "
+                    f"({_native.native_import_error()}); build it with "
+                    "`make native` or unset JANUS_NATIVE"
+                )
+            return _native.NativeCore
+        return _native.NativeCore or PurePythonCore
+    if core == "pure":
+        return PurePythonCore
+    if core == "native":
+        if _native.NativeCore is None:
+            raise SolverError(
+                "native core requested but the extension is not built "
+                f"({_native.native_import_error()}); build it with "
+                "`make native`"
+            )
+        return _native.NativeCore
+    raise SolverError(
+        f"unknown propagation core {core!r}; expected 'pure', 'native' "
+        "or None (auto)"
+    )
 
 
 @dataclass(frozen=True)
@@ -171,6 +269,7 @@ class SolverStats:
     learned: int = 0
     deleted: int = 0
     max_decision_level: int = 0
+    core: str = "pure"  # propagation core that served this solver
 
 
 @dataclass
@@ -218,7 +317,12 @@ def _luby(i: int) -> int:
 
 
 class CdclSolver:
-    """Conflict-driven clause-learning solver over DIMACS-style literals."""
+    """Conflict-driven clause-learning solver over DIMACS-style literals.
+
+    The search policy lives here; all hot loops live in the propagation
+    core behind :data:`CORE_INTERFACE` (``core=`` picks one; default is
+    auto-detect, see :func:`resolve_core_class`).
+    """
 
     def __init__(
         self,
@@ -230,6 +334,7 @@ class CdclSolver:
         clause_decay=_KEEP,
         proof: bool = False,
         config: Optional[SolverConfig] = None,
+        core: Optional[str] = None,
     ) -> None:
         # ``config`` is the one true tuning surface; the loose kwargs are
         # a deprecation shim for pre-SolverConfig call sites.  Explicitly
@@ -251,11 +356,17 @@ class CdclSolver:
             cfg = replace(cfg, **overrides)
         self.config = cfg
         self.ok = True
-        self.stats = SolverStats()
+        core_cls = resolve_core_class(core)
+        self.core_name: str = core_cls.core_name
+        self._core = core_cls(
+            cfg.var_decay,
+            cfg.clause_decay,
+            1 if cfg.phase_saving == "save" else 0,
+        )
+        self.stats = SolverStats(core=self.core_name)
         self.max_conflicts = cfg.max_conflicts
         self.max_time = cfg.max_time
         self.restart_base = cfg.restart_base
-        self._save_phase = cfg.phase_saving == "save"
         # DRUP proof log: ("a"|"d", external-literal tuple) per event.  Only
         # *derived* clauses are logged (learnt clauses, level-0 strengthened
         # inputs, the final empty clause) plus learnt-clause deletions; this
@@ -263,30 +374,8 @@ class CdclSolver:
         self.proof: Optional[list[tuple[str, tuple[int, ...]]]] = (
             [] if proof else None
         )
-
-        # internal literal encoding: var v in [0,n); lit = v*2 (true) or
-        # v*2+1 (false).  External var ids are v+1.
         self._nvars = 0
-        self._clauses: list[list[int]] = []  # problem clauses
-        self._learnts: list[list[int]] = []
-        self._clause_act: dict[int, float] = {}  # id(clause) -> activity
-        self._clause_lbd: dict[int, int] = {}
-        self._watches: list[list[list[int]]] = []  # per internal lit
-        self._bins: list[list[list[int]]] = []  # binary clauses per lit
-        self._assign: list[int] = []  # per var: _UNASSIGNED/0/1
-        self._level: list[int] = []
-        self._reason: list[Optional[list[int]]] = []
-        self._trail: list[int] = []  # internal lits
-        self._trail_lim: list[int] = []
-        self._qhead = 0
-        self._activity: list[float] = []
-        self._var_inc = 1.0
-        self._var_decay = cfg.var_decay
-        self._cla_inc = 1.0
-        self._cla_decay = cfg.clause_decay
-        self._phase: list[int] = []  # saved phase per var (0/1)
-        self._heap: list[tuple[float, int]] = []  # lazy (-activity, var)
-        self._seen: list[int] = []
+        self._num_clauses = 0  # attached problem clauses (reduce schedule)
         while self._nvars < num_vars:
             self._new_var_internal()
 
@@ -298,17 +387,7 @@ class CdclSolver:
 
     def _new_var_internal(self) -> None:
         self._nvars += 1
-        self._watches.append([])
-        self._watches.append([])
-        self._bins.append([])
-        self._bins.append([])
-        self._assign.append(_UNASSIGNED)
-        self._level.append(0)
-        self._reason.append(None)
-        self._activity.append(0.0)
-        self._phase.append(0)
-        self._seen.append(0)
-        heapq.heappush(self._heap, (0.0, self._nvars - 1))
+        self._core.add_var()
 
     def _ensure_vars(self, ext_lits: Iterable[int]) -> None:
         top = 0
@@ -333,11 +412,15 @@ class CdclSolver:
                 (kind, tuple(self._to_external(l) for l in internal_lits))
             )
 
+    def _sync_stats(self) -> None:
+        self.stats.propagations = self._core.propagation_count()
+
     def add_clause(self, ext_lits: Sequence[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT."""
         if not self.ok:
             return False
-        if self._trail_lim:
+        core = self._core
+        if core.decision_level():
             raise SolverError("clauses must be added at decision level 0")
         for lit in ext_lits:
             if lit == 0:
@@ -349,7 +432,7 @@ class CdclSolver:
         for lit in lits:
             if lit ^ 1 in out:
                 return True  # tautology: x or ~x
-            val = self._lit_value(lit)
+            val = core.value(lit)
             if val == 1:
                 return True  # already satisfied at level 0
             if val == 0:
@@ -363,12 +446,13 @@ class CdclSolver:
             self.ok = False
             return False
         if len(out) == 1:
-            if not self._enqueue(out[0], None):
+            if not core.enqueue(out[0], -1):
                 self._log_proof("a", [])
                 self.ok = False
                 return False
-            conflict = self._propagate()
-            if conflict is not None:
+            conflict = core.propagate()
+            self._sync_stats()
+            if conflict >= 0:
                 self._log_proof("a", [])
                 self.ok = False
                 return False
@@ -395,384 +479,49 @@ class CdclSolver:
             self.max_conflicts if max_conflicts is _KEEP else max_conflicts
         )
         limit_time = self.max_time if max_time is _KEEP else max_time
-        result = self._solve(assumptions, start, limit_conflicts, limit_time)
+        try:
+            result = self._solve(
+                assumptions, start, limit_conflicts, limit_time
+            )
+        finally:
+            self._sync_stats()
         result.wall_time = time.monotonic() - start
         return result
 
     # ------------------------------------------------------------ internals
-    def _lit_value(self, lit: int) -> int:
-        """1 true, 0 false, _UNASSIGNED unknown."""
-        val = self._assign[lit >> 1]
-        if val == _UNASSIGNED:
-            return _UNASSIGNED
-        return val ^ (lit & 1)
-
-    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
-        val = self._lit_value(lit)
-        if val == 0:
-            return False
-        if val == 1:
-            return True
-        var = lit >> 1
-        self._assign[var] = 1 ^ (lit & 1)
-        self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
-        self._trail.append(lit)
-        return True
-
-    def _attach(self, lits: list[int], learnt: bool) -> list[int]:
+    def _attach(self, lits: list[int], learnt: bool, lbd: int = 0) -> int:
+        cref = self._core.attach(lits, 1 if learnt else 0, lbd)
         if learnt:
-            self._learnts.append(lits)
-            self._clause_act[id(lits)] = self._cla_inc
             self.stats.learned += 1
         else:
-            self._clauses.append(lits)
-        if len(lits) == 2:
-            # Binary clauses live in dedicated implication lists: when one
-            # literal becomes false the other is immediately forced.
-            self._bins[lits[0]].append(lits)
-            self._bins[lits[1]].append(lits)
-            return lits
-        # watches[w] holds the clauses currently watching literal w; they
-        # are examined when w becomes false.
-        self._watches[lits[0]].append(lits)
-        self._watches[lits[1]].append(lits)
-        return lits
-
-    def _propagate(self) -> Optional[list[int]]:
-        """Two-watched-literal BCP; returns a conflicting clause or None.
-
-        This loop dominates every probe, so everything loop-invariant is
-        hoisted into locals: the watch/implication tables, the assignment
-        arrays (flat int lists — faster to index in CPython than
-        ``array`` objects), the decision level (constant for the whole
-        call: propagation never opens a level), the queue head and the
-        propagation counter (folded back into ``stats`` on exit).
-        """
-        watches = self._watches
-        bins = self._bins
-        assign = self._assign
-        level = self._level
-        reason = self._reason
-        trail = self._trail
-        unassigned = _UNASSIGNED
-        cur_level = len(self._trail_lim)
-        qhead = self._qhead
-        propagated = 0
-        while qhead < len(trail):
-            lit = trail[qhead]
-            qhead += 1
-            propagated += 1
-            falsified = lit ^ 1
-            # Binary implications first: falsified forces the other literal.
-            for clause in bins[falsified]:
-                other = clause[0]
-                if other == falsified:
-                    other = clause[1]
-                    clause[0], clause[1] = other, falsified
-                var = other >> 1
-                v = assign[var]
-                if v == unassigned:
-                    assign[var] = 1 ^ (other & 1)
-                    level[var] = cur_level
-                    reason[var] = clause
-                    trail.append(other)
-                elif (v ^ (other & 1)) == 0:
-                    self._qhead = len(trail)
-                    self.stats.propagations += propagated
-                    return clause
-            watch_list = watches[falsified]
-            i = 0
-            j = 0
-            n = len(watch_list)
-            while i < n:
-                clause = watch_list[i]
-                i += 1
-                # Ensure the falsified literal sits at position 1.
-                if clause[0] == falsified:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                v0 = assign[first >> 1]
-                if v0 != unassigned and (v0 ^ (first & 1)) == 1:
-                    watch_list[j] = clause
-                    j += 1
-                    continue
-                # Look for a replacement watch.  A replacement is any
-                # non-false literal; it can never equal ``falsified``, so
-                # the append below never touches the list being compacted.
-                moved = False
-                for k in range(2, len(clause)):
-                    other = clause[k]
-                    vo = assign[other >> 1]
-                    if vo == unassigned or (vo ^ (other & 1)) == 1:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches[other].append(clause)
-                        moved = True
-                        break
-                if moved:
-                    continue
-                # Clause is unit or conflicting.
-                watch_list[j] = clause
-                j += 1
-                if v0 != unassigned:  # first is false: conflict
-                    # Keep remaining watches in place.
-                    while i < n:
-                        watch_list[j] = watch_list[i]
-                        j += 1
-                        i += 1
-                    del watch_list[j:]
-                    self._qhead = len(trail)
-                    self.stats.propagations += propagated
-                    return clause
-                var = first >> 1
-                assign[var] = 1 ^ (first & 1)
-                level[var] = cur_level
-                reason[var] = clause
-                trail.append(first)
-            del watch_list[j:]
-        self._qhead = qhead
-        self.stats.propagations += propagated
-        return None
-
-    def _decision_level(self) -> int:
-        return len(self._trail_lim)
-
-    def _decide(self, lit: int) -> None:
-        self._trail_lim.append(len(self._trail))
-        self.stats.decisions += 1
-        self.stats.max_decision_level = max(
-            self.stats.max_decision_level, self._decision_level()
-        )
-        assert self._enqueue(lit, None)
-
-    def _backtrack(self, level: int) -> None:
-        if self._decision_level() <= level:
-            return
-        bound = self._trail_lim[level]
-        heap = self._heap
-        save_phase = self._save_phase
-        for lit in reversed(self._trail[bound:]):
-            var = lit >> 1
-            if save_phase:
-                self._phase[var] = self._assign[var]
-            self._assign[var] = _UNASSIGNED
-            self._reason[var] = None
-            heapq.heappush(heap, (-self._activity[var], var))
-        del self._trail[bound:]
-        del self._trail_lim[level:]
-        self._qhead = len(self._trail)
-
-    def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            scale = 1e-100
-            for v in range(self._nvars):
-                self._activity[v] *= scale
-            self._var_inc *= scale
-            self._heap = [(-self._activity[v], v) for v in range(self._nvars)]
-            heapq.heapify(self._heap)
-        elif self._assign[var] == _UNASSIGNED:
-            heapq.heappush(self._heap, (-self._activity[var], var))
-
-    def _bump_clause(self, clause: list[int]) -> None:
-        key = id(clause)
-        if key in self._clause_act:
-            self._clause_act[key] += self._cla_inc
-            if self._clause_act[key] > 1e100:
-                for k in self._clause_act:
-                    self._clause_act[k] *= 1e-100
-                self._cla_inc *= 1e-100
-
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int, int]:
-        """First-UIP learning; returns (learnt, backjump_level, lbd)."""
-        seen = self._seen
-        level = self._level
-        reason = self._reason
-        learnt: list[int] = [0]  # placeholder for the asserting literal
-        counter = 0
-        lit = -1
-        clause: Optional[list[int]] = conflict
-        index = len(self._trail) - 1
-        cur_level = self._decision_level()
-
-        while True:
-            assert clause is not None
-            self._bump_clause(clause)
-            # For reason clauses (every iteration after the first) position 0
-            # holds the implied literal itself and is skipped.
-            for q in (clause if lit == -1 else clause[1:]):
-                var = q >> 1
-                if not seen[var] and level[var] > 0:
-                    seen[var] = 1
-                    self._bump_var(var)
-                    if level[var] == cur_level:
-                        counter += 1
-                    else:
-                        learnt.append(q)
-            # pick next literal from trail at current level
-            while not seen[self._trail[index] >> 1]:
-                index -= 1
-            lit = self._trail[index]
-            index -= 1
-            var = lit >> 1
-            seen[var] = 0
-            counter -= 1
-            clause = reason[var]
-            if counter == 0:
-                break
-        learnt[0] = lit ^ 1
-
-        # Recursive (MiniSat ccmin=deep) minimization: a literal is dropped
-        # when it is implied by the remaining clause literals through the
-        # implication graph.  ``seen`` marks are shared across the clause's
-        # literals so the walk is amortized; ``abstract_levels`` prunes
-        # chains that touch decision levels absent from the clause.
-        for q in learnt[1:]:
-            seen[q >> 1] = 1
-        abstract_levels = 0
-        for q in learnt[1:]:
-            abstract_levels |= 1 << (level[q >> 1] & 31)
-        to_clear = list(learnt[1:])
-        keep = [learnt[0]]
-        for q in learnt[1:]:
-            if reason[q >> 1] is None or not self._lit_redundant(
-                q, abstract_levels, to_clear
-            ):
-                keep.append(q)
-        for q in to_clear:
-            seen[q >> 1] = 0
-        seen[learnt[0] >> 1] = 0
-        learnt = keep
-
-        if len(learnt) == 1:
-            bt_level = 0
-        else:
-            # Find the second-highest level and move its literal to slot 1.
-            max_i = 1
-            for i in range(2, len(learnt)):
-                if level[learnt[i] >> 1] > level[learnt[max_i] >> 1]:
-                    max_i = i
-            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            bt_level = level[learnt[1] >> 1]
-
-        lbd = len({level[q >> 1] for q in learnt})
-        return learnt, bt_level, lbd
-
-    def _lit_redundant(
-        self, lit: int, abstract_levels: int, to_clear: list[int]
-    ) -> bool:
-        """MiniSat's litRedundant: walk ``lit``'s implication ancestry; the
-        literal is redundant iff the walk only ever meets seen (in-clause)
-        variables, level-0 facts, or further implied variables at clause
-        decision levels.  Newly visited variables are marked seen and
-        queued in ``to_clear`` so later walks reuse the work."""
-        seen = self._seen
-        level = self._level
-        reason = self._reason
-        stack = [lit]
-        top = len(to_clear)
-        while stack:
-            p = stack.pop()
-            clause = reason[p >> 1]
-            assert clause is not None
-            for q in clause[1:]:
-                var = q >> 1
-                if seen[var] or level[var] == 0:
-                    continue
-                if reason[var] is None or not (
-                    abstract_levels >> (level[var] & 31) & 1
-                ):
-                    # A decision or a variable at a level foreign to the
-                    # clause: the chain fails.  Un-mark what this walk
-                    # added (marks made by *successful* walks stay).
-                    for q2 in to_clear[top:]:
-                        seen[q2 >> 1] = 0
-                    del to_clear[top:]
-                    return False
-                seen[var] = 1
-                to_clear.append(q)
-                stack.append(q)
-        return True
+            self._num_clauses += 1
+        return cref
 
     def _reduce_db(self) -> None:
         """Drop the weaker half of the learned clauses."""
-        locked = {id(r) for r in self._reason if r is not None}
-        scored = []
-        for clause in self._learnts:
-            key = id(clause)
-            if key in locked or len(clause) <= 2:
-                continue
-            scored.append(
-                (self._clause_lbd.get(key, 99), -self._clause_act.get(key, 0.0), key, clause)
-            )
-        scored.sort()
-        drop = {entry[2] for entry in scored[len(scored) // 2 :]}
-        if not drop:
-            return
-        kept: list[list[int]] = []
-        for clause in self._learnts:
-            if id(clause) in drop:
-                self._detach(clause)
-                self._log_proof("d", clause)
-                self._clause_act.pop(id(clause), None)
-                self._clause_lbd.pop(id(clause), None)
-                self.stats.deleted += 1
-            else:
-                kept.append(clause)
-        self._learnts = kept
+        deleted = self._core.reduce_db()
+        for lits in deleted:
+            self._log_proof("d", lits)
+        self.stats.deleted += len(deleted)
 
-    def _detach(self, clause: list[int]) -> None:
-        for watch_lit in (clause[0], clause[1]):
-            lst = self._watches[watch_lit]
-            for i, c in enumerate(lst):
-                if c is clause:
-                    lst[i] = lst[-1]
-                    lst.pop()
-                    break
-
-    def _pick_branch_var(self) -> Optional[int]:
-        """Highest-activity unassigned variable via a lazy heap.
-
-        Heap entries may be stale (old activities, already-assigned vars);
-        stale entries are skipped on pop.  Every unassigned variable always
-        has at least one live entry because bumps and unassignments push.
-        """
-        heap = self._heap
-        assign = self._assign
-        while heap:
-            _, var = heapq.heappop(heap)
-            if assign[var] == _UNASSIGNED:
-                return var
-        # Heap drained: fall back to a scan (rare; e.g. fresh vars only).
-        for var in range(self._nvars):
-            if assign[var] == _UNASSIGNED:
-                return var
-        return None
+    def _decide(self, lit: int) -> None:
+        core = self._core
+        core.new_level()
+        self.stats.decisions += 1
+        level = core.decision_level()
+        if level > self.stats.max_decision_level:
+            self.stats.max_decision_level = level
+        if not core.enqueue(lit, -1):
+            raise SolverError("decision literal was already falsified")
 
     def _analyze_final(self, lit: int) -> list[int]:
         """Assumptions (external lits) forcing ``lit`` false — MiniSat's
-        analyzeFinal.  Walks implication ancestry from the trail top; every
-        decision met is an assumption (only assumptions are decisions while
-        the assumption prefix is being installed)."""
-        core = {self._to_external(lit)}
-        if self._decision_level() == 0:
-            return sorted(core, key=abs)
-        seen = self._seen
-        seen[lit >> 1] = 1
-        for trail_lit in reversed(self._trail[self._trail_lim[0] :]):
-            var = trail_lit >> 1
-            if not seen[var]:
-                continue
-            reason = self._reason[var]
-            if reason is None:
-                core.add(self._to_external(trail_lit))
-            else:
-                for q in reason[1:]:
-                    if self._level[q >> 1] > 0:
-                        seen[q >> 1] = 1
-            seen[var] = 0
-        seen[lit >> 1] = 0
-        return sorted(core, key=abs)
+        analyzeFinal, computed by the core; every decision met on the
+        implication walk is an assumption (only assumptions are
+        decisions while the assumption prefix is being installed)."""
+        internal = self._core.analyze_final(lit)
+        external = {self._to_external(l) for l in internal}
+        return sorted(external, key=lambda e: (abs(e), e))
 
     def _solve(
         self,
@@ -784,95 +533,108 @@ class CdclSolver:
         if not self.ok:
             return SolveResult("unsat", stats=self.stats, core=[])
         self._ensure_vars(assumptions)
-        conflict = self._propagate()
-        if conflict is not None:
+        core = self._core
+        conflict = core.propagate()
+        if conflict >= 0:
             self._log_proof("a", [])
             self.ok = False
             return SolveResult("unsat", stats=self.stats, core=[])
 
         assum = [self._to_internal(a) for a in assumptions]
         cfg = self.config
-        conflicts_start = self.stats.conflicts
+        stats = self.stats
+        n_assum = len(assum)
+        conflicts_start = stats.conflicts
         restart_idx = 1
         restart_limit = cfg.restart_limit(restart_idx)
         conflicts_since_restart = 0
+        # Shadow of ``core.decision_level()``: the driver mirrors every
+        # level change (decide, backtrack, empty assumption level) so
+        # the hot loop never crosses the seam just to read it.
+        dl = 0
         # With the default config (reduce_base=1000) this is the
         # historical ``max(1000, len(clauses) // 3 + 500)`` schedule.
         max_learnts = max(
             cfg.reduce_base,
-            (len(self._clauses) // 3) + cfg.reduce_base // 2,
+            (self._num_clauses // 3) + cfg.reduce_base // 2,
         )
 
         while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                self.stats.conflicts += 1
+            conflict = core.propagate()
+            if conflict >= 0:
+                stats.conflicts += 1
                 conflicts_since_restart += 1
-                if self._decision_level() == 0:
+                if dl == 0:
                     self._log_proof("a", [])
                     self.ok = False
-                    return SolveResult("unsat", stats=self.stats, core=[])
-                learnt, bt_level, lbd = self._analyze(conflict)
+                    return SolveResult("unsat", stats=stats, core=[])
+                learnt, bt_level, lbd = core.analyze(conflict)
                 self._log_proof("a", learnt)
-                self._backtrack(bt_level)
+                core.backtrack(bt_level)
+                dl = bt_level
                 if len(learnt) == 1:
-                    if not self._enqueue(learnt[0], None):
+                    if not core.enqueue(learnt[0], -1):
                         self._log_proof("a", [])
                         self.ok = False
-                        return SolveResult("unsat", stats=self.stats, core=[])
+                        return SolveResult("unsat", stats=stats, core=[])
                 else:
-                    clause = self._attach(learnt, learnt=True)
-                    self._clause_lbd[id(clause)] = lbd
-                    assert self._enqueue(learnt[0], clause)
-                self._var_inc /= self._var_decay
-                self._cla_inc /= self._cla_decay
+                    cref = self._attach(learnt, learnt=True, lbd=lbd)
+                    if not core.enqueue(learnt[0], cref):
+                        raise SolverError(
+                            "asserting literal rejected after backjump"
+                        )
+                core.decay()
 
                 if (
                     max_conflicts is not None
-                    and self.stats.conflicts - conflicts_start >= max_conflicts
+                    and stats.conflicts - conflicts_start >= max_conflicts
                 ):
-                    self._backtrack(0)
-                    return SolveResult("unknown", stats=self.stats)
+                    core.backtrack(0)
+                    return SolveResult("unknown", stats=stats)
                 if max_time is not None and (
                     time.monotonic() - start
                 ) > max_time:
-                    self._backtrack(0)
-                    return SolveResult("unknown", stats=self.stats)
+                    core.backtrack(0)
+                    return SolveResult("unknown", stats=stats)
                 if conflicts_since_restart >= restart_limit:
-                    self.stats.restarts += 1
+                    stats.restarts += 1
                     restart_idx += 1
                     restart_limit = cfg.restart_limit(restart_idx)
                     conflicts_since_restart = 0
-                    self._backtrack(0)
+                    core.backtrack(0)
+                    dl = 0
                 continue
 
-            if len(self._learnts) >= max_learnts:
+            if core.num_learnts() >= max_learnts:
                 self._reduce_db()
                 max_learnts = int(max_learnts * cfg.reduce_growth)
 
             # Take pending assumptions as forced decisions first.
-            next_lit: Optional[int] = None
-            if self._decision_level() < len(assum):
-                candidate = assum[self._decision_level()]
-                val = self._lit_value(candidate)
+            if dl < n_assum:
+                candidate = assum[dl]
+                val = core.value(candidate)
                 if val == 0:
-                    core = self._analyze_final(candidate)
-                    self._backtrack(0)
-                    return SolveResult("unsat", stats=self.stats, core=core)
+                    failed = self._analyze_final(candidate)
+                    core.backtrack(0)
+                    return SolveResult("unsat", stats=stats, core=failed)
                 if val == 1:
                     # Already satisfied: open an empty decision level so the
                     # remaining assumptions keep their positions.
-                    self._trail_lim.append(len(self._trail))
+                    core.new_level()
+                    dl += 1
                     continue
-                next_lit = candidate
-            if next_lit is None:
-                var = self._pick_branch_var()
-                if var is None:
-                    model = [self._assign[v] == 1 for v in range(self._nvars)]
-                    self._backtrack(0)
-                    return SolveResult("sat", model=model, stats=self.stats)
-                next_lit = var * 2 + (1 if self._phase[var] == 0 else 0)
-            self._decide(next_lit)
+                self._decide(candidate)
+                dl += 1
+                continue
+            lit = core.decide_next()
+            if lit < 0:
+                model = core.model()
+                core.backtrack(0)
+                return SolveResult("sat", model=model, stats=stats)
+            stats.decisions += 1
+            dl += 1
+            if dl > stats.max_decision_level:
+                stats.max_decision_level = dl
 
 
 def solve_cnf(
@@ -907,7 +669,10 @@ class SolveRequest:
     state) so it can cross a process boundary cheaply; budgets and the
     :class:`SolverConfig` ride along so every worker enforces its own
     limits and tuning.  Built for the parallel engine's process pool, but
-    equally usable for shipping instances to any executor.
+    equally usable for shipping instances to any executor.  The
+    propagation core is deliberately *not* part of the request: each
+    process auto-detects its own, and core parity guarantees the answer
+    is byte-identical either way.
     """
 
     clauses: tuple[tuple[int, ...], ...]

@@ -99,3 +99,32 @@ class TestDeepSpeculation:
             pooled = engine.synthesize(expr, options=OPTS)
         assert pooled.assignment.entries == serial.assignment.entries
         assert (pooled.size, pooled.shape) == (serial.size, serial.shape)
+
+
+class TestCoreTally:
+    """`EngineStats.cores` counts which propagation core served each
+    *solver-backed* probe — structural prechecks never construct a
+    solver and must stay out of the tally."""
+
+    def test_cores_tally_counts_only_solver_backed_probes(self):
+        from repro.sat.solver import resolve_core_class
+
+        with ParallelEngine(jobs=1) as engine:
+            result = engine.synthesize("cd + c'd' + abe", options=OPTS)
+            cores = dict(engine.stats.cores)
+        solver_backed = [
+            a for a in result.attempts
+            if a.status != "structural" and not (a.cached or a.pruned)
+        ]
+        structural = [a for a in result.attempts if a.status == "structural"]
+        assert structural, "workload should include structural prechecks"
+        assert sum(cores.values()) == len(solver_backed)
+        # Every label is a real core, and the ambient core is among them.
+        assert set(cores) <= {"pure", "native"}
+        assert resolve_core_class().core_name in cores
+
+    def test_structural_only_run_records_no_cores(self):
+        # 2x2 constant-ish target: bounds close the gap, zero SAT probes.
+        with ParallelEngine(jobs=1) as engine:
+            engine.synthesize("ab", options=OPTS)
+            assert engine.stats.cores == {}

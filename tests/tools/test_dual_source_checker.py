@@ -1,0 +1,160 @@
+"""Dual-source-drift checker: seam discipline and twin completeness."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.janalyze.checkers.dual_source import DualSourceDriftChecker
+
+SOLVER_OK = """\
+CORE_INTERFACE = ("propagate", "backtrack")
+"""
+
+PURE_OK = """\
+class PurePythonCore:
+    def propagate(self):
+        pass
+
+    def backtrack(self, level):
+        pass
+"""
+
+SEAM_OK = """\
+NativeCore = None
+try:
+    from repro.sat._native._kernel import NativeCore
+except ImportError:
+    pass
+"""
+
+KERNEL_OK = """\
+static PyMethodDef methods[] = {
+    {"propagate", 0, 0, 0},
+    {"backtrack", 0, 0, 0},
+};
+"""
+
+PARITY_OK = """\
+import pytest
+
+@pytest.mark.parametrize("core", ["pure", "native"])
+def test_parity(core):
+    pass
+"""
+
+LAYOUT = {
+    "src/repro/sat/solver.py": SOLVER_OK,
+    "src/repro/sat/core_pure.py": PURE_OK,
+    "src/repro/sat/_native/__init__.py": SEAM_OK,
+    "src/repro/sat/_native/_kernel.c": KERNEL_OK,
+    "tests/sat/test_native_parity.py": PARITY_OK,
+}
+
+
+def run(make_project, overrides=None, drop=()):
+    files = {rel: textwrap.dedent(text) for rel, text in LAYOUT.items()}
+    files.update(overrides or {})
+    for rel in drop:
+        del files[rel]
+    project = make_project(
+        files,
+        config={"checkers": {"dual-source-drift": {"paths": ["src/repro"]}}},
+    )
+    return DualSourceDriftChecker().check(project)
+
+
+def test_clean_layout_passes(make_project):
+    assert run(make_project) == []
+
+
+def test_unguarded_seam_import_fires(make_project):
+    findings = run(
+        make_project,
+        overrides={
+            "src/repro/sat/_native/__init__.py": (
+                "from repro.sat._native._kernel import NativeCore\n"
+            )
+        },
+    )
+    assert any("try/except ImportError" in f.message for f in findings)
+
+
+def test_kernel_import_outside_seam_fires(make_project):
+    findings = run(
+        make_project,
+        overrides={
+            "src/repro/sat/rogue.py": (
+                "from repro.sat._native import _kernel\n"
+            )
+        },
+    )
+    assert any("outside the seam" in f.message for f in findings)
+
+
+def test_core_pure_importing_native_fires(make_project):
+    findings = run(
+        make_project,
+        overrides={
+            "src/repro/sat/core_pure.py": (
+                "from repro.sat import _native\n" + PURE_OK
+            )
+        },
+    )
+    assert any("always-available fallback" in f.message for f in findings)
+
+
+def test_method_missing_from_pure_twin_fires(make_project):
+    findings = run(
+        make_project,
+        overrides={
+            "src/repro/sat/core_pure.py": (
+                "class PurePythonCore:\n    def propagate(self):\n"
+                "        pass\n"
+            )
+        },
+    )
+    assert any(
+        "missing from PurePythonCore" in f.message and f.symbol == "backtrack"
+        for f in findings
+    )
+
+
+def test_method_missing_from_kernel_fires(make_project):
+    findings = run(
+        make_project,
+        overrides={
+            "src/repro/sat/_native/_kernel.c": (
+                '{"propagate", 0, 0, 0},\n'
+            )
+        },
+    )
+    assert any(
+        "missing from the native kernel" in f.message
+        and f.symbol == "backtrack"
+        for f in findings
+    )
+
+
+def test_parity_suite_dropping_a_core_fires(make_project):
+    findings = run(
+        make_project,
+        overrides={
+            "tests/sat/test_native_parity.py": (
+                "def test_parity():\n    core = 'pure'\n"
+            )
+        },
+    )
+    assert any("'native' core" in f.message for f in findings)
+
+
+def test_missing_parity_suite_fires(make_project):
+    findings = run(make_project, drop=("tests/sat/test_native_parity.py",))
+    assert any("parity suite missing" in f.message for f in findings)
+
+
+def test_real_repo_is_clean(repo_root):
+    from tools.janalyze.config import DEFAULT_CONFIG
+    from tools.janalyze.project import Project
+
+    project = Project(root=repo_root, config=DEFAULT_CONFIG)
+    assert DualSourceDriftChecker().check(project) == []

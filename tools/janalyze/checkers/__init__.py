@@ -12,6 +12,7 @@ from tools.janalyze.checkers.base import Checker
 from tools.janalyze.checkers.broad_except import BroadExceptChecker
 from tools.janalyze.checkers.determinism import DeterminismChecker
 from tools.janalyze.checkers.doc_links import DocLinksChecker
+from tools.janalyze.checkers.dual_source import DualSourceDriftChecker
 from tools.janalyze.checkers.locks import LockDisciplineChecker
 from tools.janalyze.checkers.pickles import PickleBoundaryChecker
 from tools.janalyze.checkers.wire_schema import WireSchemaChecker
@@ -24,6 +25,7 @@ ALL_CHECKERS: list[type[Checker]] = [
     DeterminismChecker,
     PickleBoundaryChecker,
     WireSchemaChecker,
+    DualSourceDriftChecker,
     BroadExceptChecker,
     DocLinksChecker,
 ]

@@ -1,0 +1,273 @@
+"""Dual-source drift: the two solver cores must stay importable twins.
+
+The solver keeps two implementations of one hot path — the pure-Python
+:class:`~repro.sat.core_pure.PurePythonCore` and the optional C
+extension ``repro.sat._native._kernel`` — behind the ``CORE_INTERFACE``
+seam in ``repro/sat/solver.py``.  That design only holds up under four
+invariants, each of which is easy to break silently in review:
+
+1. **Fallback importability** — ``core_pure.py`` (and the solver driver
+   transitively) must never import the ``_native`` package's extension
+   module directly; a checkout without a compiler must still solve.
+2. **One import seam** — the only module allowed to import
+   ``repro.sat._native._kernel`` is ``repro/sat/_native/__init__.py``,
+   and there the import must sit inside a ``try/except ImportError`` so
+   a missing ``.so`` degrades to the pure core instead of crashing.
+3. **Interface completeness** — every method named in
+   ``CORE_INTERFACE`` must be defined on ``PurePythonCore`` and appear
+   (as a quoted method-table string) in ``_kernel.c``.  A method added
+   to one twin but not the other is exactly the drift this checker is
+   named after.
+4. **Parity coverage** — the parity suite must keep exercising both
+   core names, otherwise byte-identity rots unobserved.
+
+Everything is checked statically (``ast`` for Python, substring scan
+for the C source) — the extension is never imported, so the checker
+runs identically whether or not the kernel is built.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.janalyze.checkers.base import Checker
+from tools.janalyze.findings import Finding
+from tools.janalyze.project import Project
+
+__all__ = ["DualSourceDriftChecker"]
+
+SOLVER = "src/repro/sat/solver.py"
+PURE = "src/repro/sat/core_pure.py"
+SEAM = "src/repro/sat/_native/__init__.py"
+KERNEL_C = "src/repro/sat/_native/_kernel.c"
+PARITY_TEST = "tests/sat/test_native_parity.py"
+
+_KERNEL_MODULE = "repro.sat._native._kernel"
+
+
+def _kernel_imports(tree: ast.Module) -> list[ast.stmt]:
+    """Import statements that bind the compiled kernel module."""
+    hits: list[ast.stmt] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith(_KERNEL_MODULE) for a in node.names):
+                hits.append(node)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.startswith(_KERNEL_MODULE):
+                hits.append(node)
+            elif module == "repro.sat._native" and any(
+                a.name == "_kernel" for a in node.names
+            ):
+                hits.append(node)
+            elif node.level and any(a.name == "_kernel" for a in node.names):
+                # relative ``from . import _kernel`` inside the package
+                hits.append(node)
+    return hits
+
+
+def _guarded_by_import_error(tree: ast.Module, stmt: ast.stmt) -> bool:
+    """True when ``stmt`` sits in a try whose handlers catch ImportError."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        in_body = any(
+            sub is stmt for s in node.body for sub in ast.walk(s)
+        )
+        if not in_body:
+            continue
+        for handler in node.handlers:
+            names = []
+            if isinstance(handler.type, ast.Name):
+                names = [handler.type.id]
+            elif isinstance(handler.type, ast.Tuple):
+                names = [
+                    e.id for e in handler.type.elts if isinstance(e, ast.Name)
+                ]
+            if any(n in ("ImportError", "ModuleNotFoundError") for n in names):
+                return True
+    return False
+
+
+def _core_interface(tree: ast.Module) -> list[str]:
+    """The CORE_INTERFACE name tuple from the solver module, or []."""
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        else:
+            continue
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "CORE_INTERFACE"
+            and isinstance(value, (ast.Tuple, ast.List))
+        ):
+            return [
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+    return []
+
+
+def _class_methods(tree: ast.Module, cls_name: str) -> set[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls_name:
+            return {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+    return set()
+
+
+class DualSourceDriftChecker(Checker):
+    name = "dual-source-drift"
+    description = (
+        "pure and native solver cores must stay importable, "
+        "interface-complete twins"
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        cfg = self.config(project)
+        solver_rel = cfg.get("solver", SOLVER)
+        pure_rel = cfg.get("pure", PURE)
+        seam_rel = cfg.get("seam", SEAM)
+        kernel_rel = cfg.get("kernel", KERNEL_C)
+        parity_rel = cfg.get("parity_test", PARITY_TEST)
+        scan_paths = cfg.get("paths", ["src/repro", "benchmarks", "tools"])
+
+        missing = [
+            rel
+            for rel in (solver_rel, pure_rel, seam_rel)
+            if not project.exists(rel)
+        ]
+        if missing:
+            return [
+                Finding(
+                    self.name, rel, 0,
+                    "dual-source seam file missing — update tools/janalyze "
+                    "config if it moved",
+                )
+                for rel in missing
+            ]
+
+        findings: list[Finding] = []
+
+        # 1 + 2: the kernel import exists exactly once, in the seam,
+        # guarded; nothing else in scope touches the extension module.
+        seam_tree = project.source(seam_rel).tree
+        seam_imports = _kernel_imports(seam_tree)
+        if not seam_imports:
+            findings.append(
+                Finding(
+                    self.name, seam_rel, 0,
+                    "the seam never imports repro.sat._native._kernel — "
+                    "native detection cannot work",
+                )
+            )
+        for stmt in seam_imports:
+            if not _guarded_by_import_error(seam_tree, stmt):
+                findings.append(
+                    self.finding(
+                        project.source(seam_rel), stmt,
+                        "kernel import must be guarded by try/except "
+                        "ImportError — a missing .so must degrade to the "
+                        "pure core",
+                    )
+                )
+        for sf in self.scoped_files(project, scan_paths):
+            if sf.rel == seam_rel:
+                continue
+            for stmt in _kernel_imports(sf.tree):
+                findings.append(
+                    self.finding(
+                        sf, stmt,
+                        "direct import of repro.sat._native._kernel outside "
+                        f"the seam ({seam_rel}) — go through the package's "
+                        "NativeCore/native_available() instead",
+                    )
+                )
+        pure_tree = project.source(pure_rel).tree
+        for stmt in ast.walk(pure_tree):
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                names = [a.name for a in stmt.names]
+                if isinstance(stmt, ast.ImportFrom):
+                    names.append(stmt.module or "")
+                if any("_native" in n for n in names):
+                    findings.append(
+                        self.finding(
+                            project.source(pure_rel), stmt,
+                            "core_pure must not import the _native package "
+                            "— it is the always-available fallback",
+                        )
+                    )
+
+        # 3: CORE_INTERFACE completeness on both twins.
+        interface = _core_interface(project.source(solver_rel).tree)
+        if not interface:
+            findings.append(
+                Finding(
+                    self.name, solver_rel, 0,
+                    "found no CORE_INTERFACE tuple — the checker's parser "
+                    "is out of date",
+                )
+            )
+        pure_methods = _class_methods(pure_tree, "PurePythonCore")
+        for method in interface:
+            if method not in pure_methods:
+                findings.append(
+                    Finding(
+                        self.name, pure_rel, 0,
+                        f"CORE_INTERFACE method {method!r} is missing from "
+                        "PurePythonCore",
+                        symbol=method,
+                    )
+                )
+        if project.exists(kernel_rel):
+            kernel_src = project.read(kernel_rel)
+            for method in interface:
+                if f'"{method}"' not in kernel_src:
+                    findings.append(
+                        Finding(
+                            self.name, kernel_rel, 0,
+                            f"CORE_INTERFACE method {method!r} is missing "
+                            "from the native kernel's method table",
+                            symbol=method,
+                        )
+                    )
+        else:
+            findings.append(
+                Finding(
+                    self.name, kernel_rel, 0,
+                    "native kernel source missing — update tools/janalyze "
+                    "config if it moved",
+                )
+            )
+
+        # 4: the parity suite keeps both cores in its matrix.
+        if not project.exists(parity_rel):
+            findings.append(
+                Finding(
+                    self.name, parity_rel, 0,
+                    "parity suite missing — byte-identity between the "
+                    "cores is unpoliced",
+                )
+            )
+        else:
+            words = set(
+                re.findall(r"[A-Za-z_][A-Za-z0-9_]*", project.read(parity_rel))
+            )
+            for core in ("pure", "native"):
+                if core not in words:
+                    findings.append(
+                        Finding(
+                            self.name, parity_rel, 0,
+                            f"parity suite never names the {core!r} core — "
+                            "the matrix no longer covers both twins",
+                        )
+                    )
+        return findings

@@ -51,6 +51,9 @@ DEFAULT_CONFIG: dict = {
             ],
         },
         "wire-schema": {},
+        "dual-source-drift": {
+            "paths": ["src/repro", "benchmarks", "tools"],
+        },
         "broad-except": {
             "paths": ["src/repro"],
         },
