@@ -24,9 +24,12 @@ Plus two standalone CLI modes:
     rewritten ``pure`` core, and the compiled ``native`` core when the
     extension is built.  Engines are interleaved across ``--reps``
     rounds (best-of to shed scheduler noise) and compared as *ratios*,
-    never absolute numbers.  Results go to ``BENCH_pr9.json``; the run
-    fails (exit 1) if the native core is detected but below 5x the pure
-    core, or if the pure rewrite regresses below the legacy baseline.
+    never absolute numbers.  Results go to ``BENCH_pr9.json``; by
+    default the run fails (exit 1) if the native core is detected but
+    below 5x the pure core, or if the pure rewrite regresses below the
+    legacy baseline.  ``--ratio-gates warn`` downgrades a miss to a
+    loud warning (still recorded in the JSON) for noisy shared CI
+    runners where wall-clock ratios are not trustworthy.
 
 Usage::
 
@@ -425,9 +428,10 @@ def _run_throughput(args: argparse.Namespace) -> int:
     for key, value in ratios.items():
         print(f"  {key}: {value:.2f}x")
 
-    # Hard gates.  The 0.95 floor on pure-vs-legacy absorbs run-to-run
-    # scheduler noise; a genuine regression of the rewrite shows up far
-    # below it (the rewrite measures >=1.2x on this workload).
+    # Ratio gates (hard by default, --ratio-gates warn to downgrade).
+    # The 0.95 floor on pure-vs-legacy absorbs run-to-run scheduler
+    # noise; a genuine regression of the rewrite shows up far below it
+    # (the rewrite measures >=1.2x on this workload).
     failures = []
     if ratios["pure_vs_legacy"] < 0.95:
         failures.append(
@@ -453,6 +457,7 @@ def _run_throughput(args: argparse.Namespace) -> int:
         "native_detected": native_detected,
         "engines": results,
         "ratios": ratios,
+        "gate_mode": args.ratio_gates,
         "failures": failures,
     }
     if args.json_out:
@@ -460,6 +465,15 @@ def _run_throughput(args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json_out}")
 
+    if args.ratio_gates == "warn":
+        # Shared CI runners are too noisy for a hard wall-clock gate;
+        # surface misses loudly (and in the JSON artifact) without
+        # failing the job.  Dedicated benchmark machines run the
+        # default hard mode.
+        for failure in failures:
+            print(f"GATE WARNING (--ratio-gates=warn): {failure}",
+                  file=sys.stderr)
+        return 0
     for failure in failures:
         print(f"GATE FAILED: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -476,6 +490,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--throughput", action="store_true",
                         help="props/sec microbench of the solver cores "
                         "(legacy baseline vs pure vs native)")
+    parser.add_argument("--ratio-gates", choices=("hard", "warn"),
+                        default="hard",
+                        help="throughput ratio gates: 'hard' exits "
+                        "non-zero on a miss (dedicated machines), "
+                        "'warn' only reports it (noisy shared CI "
+                        "runners)")
     parser.add_argument("--reps", type=int, default=3,
                         help="interleaved repetitions per engine "
                         "(--throughput; best rep wins)")

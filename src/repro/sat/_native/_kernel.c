@@ -19,6 +19,7 @@
 
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
+#include <limits.h>
 #include <stdlib.h>
 #include <string.h>
 
@@ -103,7 +104,11 @@ typedef struct {
     IVec l_lbd;
     Py_ssize_t n_learnts;
     long long props;
-    int *lvl_stamp;       /* per level: generation marks for LBD */
+    int *lvl_stamp;       /* per DECISION LEVEL: generation marks for LBD.
+                           * Sized by lvl_cap, NOT var_cap: the driver opens
+                           * empty levels for satisfied/duplicate assumptions,
+                           * so levels can exceed the variable count. */
+    Py_ssize_t lvl_cap;
     int lvl_gen;
     IVec min_stack;       /* scratch for litRedundant */
     IVec to_clear;        /* scratch for minimization */
@@ -137,7 +142,6 @@ static int core_grow_vars(NativeCore *self, Py_ssize_t need)
     GROW(seen, signed char, 1);
     GROW(heap, int, 1);
     GROW(hpos, int, 1);
-    GROW(lvl_stamp, int, 1);
 #undef GROW
     /* zero the fresh IVec slots so attach/propagate can push blindly */
     memset(self->watches + self->var_cap * 2, 0,
@@ -146,9 +150,27 @@ static int core_grow_vars(NativeCore *self, Py_ssize_t need)
            (size_t)(cap - self->var_cap) * 2 * sizeof(IVec));
     memset(self->bin_cref + self->var_cap * 2, 0,
            (size_t)(cap - self->var_cap) * 2 * sizeof(IVec));
-    memset(self->lvl_stamp + self->var_cap, 0,
-           (size_t)(cap - self->var_cap) * sizeof(int));
     self->var_cap = cap;
+    return 0;
+}
+
+/* lvl_stamp is indexed by decision level, which is unrelated to the
+ * variable count (empty levels from assumption handling can push it
+ * arbitrarily high), so it grows on its own capacity. */
+static int core_grow_levels(NativeCore *self, Py_ssize_t need)
+{
+    if (need <= self->lvl_cap)
+        return 0;
+    Py_ssize_t cap = self->lvl_cap ? self->lvl_cap : 16;
+    while (cap < need)
+        cap *= 2;
+    int *nd = (int *)realloc(self->lvl_stamp, (size_t)cap * sizeof(int));
+    if (!nd)
+        return -1;
+    memset(nd + self->lvl_cap, 0,
+           (size_t)(cap - self->lvl_cap) * sizeof(int));
+    self->lvl_stamp = nd;
+    self->lvl_cap = cap;
     return 0;
 }
 
@@ -282,6 +304,13 @@ NativeCore_dealloc(NativeCore *self)
 static PyObject *m_add_var(NativeCore *self, PyObject *noarg)
 {
     Py_ssize_t var = self->nv;
+    /* literals are packed as 2*var+lit_sign into int fields */
+    if (var >= (Py_ssize_t)(INT_MAX / 2)) {
+        PyErr_SetString(PyExc_OverflowError,
+                        "variable count exceeds the native core's "
+                        "32-bit literal range");
+        return NULL;
+    }
     if (core_grow_vars(self, var + 1) < 0)
         return PyErr_NoMemory();
     self->nv = var + 1;
@@ -405,6 +434,17 @@ static PyObject *m_attach(NativeCore *self, PyObject *const *args,
     PyObject **items = PySequence_Fast_ITEMS(fast);
 
     IVec *arena = &self->arena;
+    /* crefs and watch/bin entries hold arena offsets as int; refuse to
+     * grow past that range rather than silently wrapping (the pure twin
+     * has unbounded ints, so overflow here would also break parity). */
+    if (size > (Py_ssize_t)INT_MAX - 2 ||
+        arena->n > (Py_ssize_t)INT_MAX - 2 - size) {
+        Py_DECREF(fast);
+        PyErr_SetString(PyExc_OverflowError,
+                        "clause arena exceeds the native core's "
+                        "32-bit index range");
+        return NULL;
+    }
     int lidx = learnt ? (int)self->l_cref.n : -1;
     if (ivec_push(arena, lidx) < 0 || ivec_push(arena, (int)size) < 0)
         goto nomem;
@@ -834,7 +874,12 @@ static PyObject *m_analyze(NativeCore *self, PyObject *arg)
         bt_level = level[learnt.d[1] >> 1];
     }
 
-    /* LBD: count distinct decision levels via generation stamps */
+    /* LBD: count distinct decision levels via generation stamps.  Any
+     * level in the learnt clause is <= the current decision level. */
+    if (core_grow_levels(self, (Py_ssize_t)self->trail_lim.n + 1) < 0) {
+        free(learnt.d);
+        return PyErr_NoMemory();
+    }
     int lbd = 0;
     int gen = ++self->lvl_gen;
     for (Py_ssize_t i = 0; i < learnt.n; i++) {

@@ -110,6 +110,25 @@ def test_trajectory_identity(preset, clauses, assumptions):
 
 
 @needs_native
+def test_analyze_at_levels_beyond_var_count():
+    """Satisfied/duplicate assumptions open *empty* decision levels, so
+    a conflict can be analyzed at a level far beyond the variable
+    count.  Regression: the native kernel sized its per-level LBD stamp
+    array by variable capacity and wrote out of bounds here; it must be
+    sized by decision level."""
+    clauses = [[-1, 2], [-3, 4], [-3, -4]]
+    # 1 decides level 1 and implies 2; every repeated "2" is already
+    # satisfied and opens an empty level; 3 then conflicts at a level
+    # ~500 with only 4 variables allocated.
+    assumptions = [1] + [2] * 500 + [3]
+    pure = trajectory("pure", clauses, assumptions=assumptions)
+    native = trajectory("native", clauses, assumptions=assumptions)
+    assert pure == native
+    assert native["status"] == "unsat"
+    assert 3 in (native["unsat_core"] or [])
+
+
+@needs_native
 def test_stats_report_which_core_served():
     clauses = rand3sat(20, 84, 0)
     assert trajectory is not None  # keep imports honest
