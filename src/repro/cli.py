@@ -301,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
         "session (JSON; created if missing, saved on shutdown)",
     )
     p_serve.add_argument(
+        "--frontend",
+        choices=("threaded", "async"),
+        default="threaded",
+        help="HTTP transport: thread-per-connection (default) or a "
+        "single-event-loop asyncio server",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fork N asyncio server processes sharing this port and one "
+        "cache (implies --frontend async; POSIX only; default 1)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log one line per request"
     )
     _add_solver_args(p_serve)
@@ -765,8 +779,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import make_server
+    from repro.server.multiproc import (
+        MultiProcessServer,
+        multiprocess_supported,
+        reuse_port_supported,
+    )
 
-    server = make_server(
+    workers = max(1, args.workers)
+    if workers > 1 and not multiprocess_supported():
+        print(
+            "janus serve: --workers needs the fork start method (POSIX); "
+            "falling back to a single process",
+            file=sys.stderr,
+        )
+        workers = 1
+    common = dict(
         host=args.host,
         port=args.port,
         jobs=args.jobs,
@@ -777,20 +804,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         preset=_solver_config_from_args(args),
         dispatch=args.dispatch,
     )
+    if workers > 1:
+        server = MultiProcessServer(workers=workers, **common)
+        sharing = (
+            "SO_REUSEPORT" if reuse_port_supported() else "inherited socket"
+        )
+        front = f"async x {workers} processes ({sharing})"
+    else:
+        server = make_server(frontend=args.frontend, **common)
+        front = args.frontend
     host, port = server.address
     print(f"janus serve: listening on http://{host}:{port}")
+    print(f"frontend  : {front}")
     print(f"cache     : {server.cache_dir}"
           + (" (server-owned, temporary)" if args.cache is None else ""))
-    print(f"pool      : {server.pool.size} sessions x "
-          f"{server.pool.jobs} worker(s)")
+    if workers == 1:
+        print(f"pool      : {server.pool.size} sessions x "
+              f"{server.pool.jobs} worker(s)")
+    else:
+        print(f"pool      : {args.pool} sessions x {args.jobs} worker(s) "
+              "per process")
     print("endpoints : POST /v1/synthesize  POST /v1/batch[?mode=async]")
     print("            GET /v1/jobs/<id>  /v1/events/<id>  /v1/backends")
     print("            GET /v1/cache/stats  /healthz")
+
+    # SIGTERM must run the same orderly shutdown as Ctrl-C: with
+    # --workers the default handler would kill only this parent and
+    # orphan the forked workers, which keep serving the port.
+    import signal
+
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.close()
     return 0
 

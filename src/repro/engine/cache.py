@@ -39,6 +39,10 @@ __all__ = ["ResultCache"]
 
 _FORMAT = 1
 
+#: How often put() re-creates a shard directory a concurrent gc pass
+#: keeps pruning out from under it before giving up.
+_PUT_ATTEMPTS = 8
+
 # Real entries are exactly "<64 hex chars>.json"; anything else in a
 # shard directory (in-flight ".tmp-*.json" files from other writers,
 # stray droppings from crashed ones) is not part of the cache contents.
@@ -86,43 +90,89 @@ class ResultCache:
         path = self._path(key)
         record = dict(payload)
         record["format"] = _FORMAT
-        tmp = None
+        # Retry loop: a concurrent gc pass may prune the (momentarily
+        # empty) shard directory between our mkdir and mkstemp/replace.
+        # That FileNotFoundError is a race, not an unwritable cache —
+        # recreate the directory and go again.  The vulnerable window is
+        # microseconds wide, so losing it _PUT_ATTEMPTS times in a row
+        # means something other than gc is deleting the tree.
+        for attempt in range(_PUT_ATTEMPTS):
+            tmp = None
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=path.parent, prefix=".tmp-", suffix=".json"
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+                return True
+            # FileExistsError is the same race seen from the other side:
+            # mkdir(exist_ok=True) lost a create-then-prune TOCTOU inside
+            # pathlib (os.mkdir hit EEXIST, gc pruned the dir before the
+            # is_dir() recheck, so pathlib re-raised).
+            except (FileNotFoundError, FileExistsError):
+                if attempt < _PUT_ATTEMPTS - 1:
+                    continue
+                self._writable = False
+                warnings.warn(
+                    f"cache write to {path} failed (shard directory kept "
+                    "vanishing); continuing without caching new results",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False
+            except OSError as exc:
+                self._writable = False
+                warnings.warn(
+                    f"cache write to {path} failed ({exc}); continuing "
+                    "without caching new results",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False
+            finally:
+                if tmp is not None and os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+        return False  # unreachable; keeps the loop's contract explicit
+
+    def _scan_shards(self, pattern: "re.Pattern") -> Iterator[Path]:
+        """Files matching ``pattern`` across every shard directory.
+
+        Listing is snapshot-per-shard via ``os.scandir`` with vanishing
+        directories tolerated: a concurrent gc pass in another process
+        may prune an (momentarily empty) shard between our listing of
+        the root and our scan of the shard — that is a shard with no
+        entries, not an error.  (``Path.glob`` raises on exactly this
+        race, which the cross-process stress suite reproduces.)
+        """
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".json"
-            )
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, separators=(",", ":"))
-            os.replace(tmp, path)
-            return True
-        except OSError as exc:
-            self._writable = False
-            warnings.warn(
-                f"cache write to {path} failed ({exc}); continuing without "
-                "caching new results",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return False
-        finally:
-            if tmp is not None and os.path.exists(tmp):
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
+            with os.scandir(self.root) as root_it:
+                shards = [entry.path for entry in root_it if entry.is_dir()]
+        except OSError:
+            return
+        for shard in shards:
+            try:
+                with os.scandir(shard) as shard_it:
+                    names = [
+                        (entry.name, entry.path) for entry in shard_it
+                    ]
+            except OSError:
+                continue  # shard pruned by a concurrent gc pass
+            for name, path in names:
+                if pattern.match(name):
+                    yield Path(path)
 
     def iter_entries(self) -> Iterator[Path]:
         """Every real ``<sha256>.json`` entry file (temps excluded)."""
-        for path in self.root.glob("*/*.json"):
-            if _ENTRY_RE.match(path.name):
-                yield path
+        return self._scan_shards(_ENTRY_RE)
 
     def iter_temps(self) -> Iterator[Path]:
         """Leftover ``.tmp-*.json`` files from in-flight/crashed writers."""
-        for path in self.root.glob("*/.tmp-*.json"):
-            if _TEMP_RE.match(path.name):
-                yield path
+        return self._scan_shards(_TEMP_RE)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()

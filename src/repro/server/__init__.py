@@ -22,9 +22,21 @@ Layers:
 * :mod:`repro.server.protocol` — the small envelopes around the schema
   payloads (errors, jobs, event pages, backends, cache stats, health)
   and the exception -> HTTP status mapping.
-* :mod:`repro.server.app` — routing and HTTP mechanics:
+* :mod:`repro.server.core` — :class:`ServiceCore`, the transport-
+  agnostic heart of the service: routing, per-request knobs, request
+  execution and the exact wire bytes.  Both HTTP front-ends delegate
+  here, which is what keeps them byte-identical.
+* :mod:`repro.server.app` — the threaded HTTP front-end:
   :class:`SynthesisServer` (a ``ThreadingHTTPServer``) and
-  :func:`make_server`.
+  :func:`make_server` (which can also build the asyncio front-end via
+  ``frontend="async"``).
+* :mod:`repro.server.async_app` — the asyncio HTTP front-end:
+  :class:`AsyncSynthesisServer`, one event loop feeding a thread
+  executor so the loop never blocks on SAT calls.
+* :mod:`repro.server.multiproc` — :class:`MultiProcessServer`,
+  ``janus serve --workers N``: N forked asyncio workers sharing one
+  port (``SO_REUSEPORT`` or an inherited listening socket) and one
+  on-disk cache.
 
 Start one from the CLI (``janus serve --host 127.0.0.1 --port 8080``)
 or in-process::
@@ -40,13 +52,26 @@ The matching client helper lives in :mod:`repro.client`.
 """
 
 from repro.server.app import SynthesisServer, make_server
+from repro.server.async_app import AsyncSynthesisServer, make_async_server
+from repro.server.core import ServiceCore
 from repro.server.jobs import Job, JobManager
+from repro.server.multiproc import (
+    MultiProcessServer,
+    multiprocess_supported,
+    reuse_port_supported,
+)
 from repro.server.pool import SessionPool
 from repro.server.protocol import error_wire, status_for_exception
 
 __all__ = [
     "SynthesisServer",
+    "AsyncSynthesisServer",
+    "MultiProcessServer",
+    "ServiceCore",
     "make_server",
+    "make_async_server",
+    "multiprocess_supported",
+    "reuse_port_supported",
     "SessionPool",
     "Job",
     "JobManager",

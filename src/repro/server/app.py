@@ -1,9 +1,13 @@
-"""The HTTP application: routing, request parsing, response writing.
+"""The threaded HTTP front-end: stdlib ``http.server`` transport.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
-connection, no third-party dependencies — with all synthesis work
-delegated to the warm :class:`~repro.server.pool.SessionPool`.  The
-routes (details and curl examples in ``docs/server.md``):
+connection, no third-party dependencies.  Routing, request execution and
+the wire bytes all live in the transport-agnostic
+:class:`~repro.server.core.ServiceCore` shared with the asyncio
+front-end (:mod:`repro.server.async_app`), so the two servers cannot
+drift: this module only parses HTTP exchanges and writes the bytes the
+core hands back.  The routes (details and curl examples in
+``docs/server.md``):
 
 ==========================  =============================================
 ``POST /v1/synthesize``     one ``synthesis_request`` -> the
@@ -24,57 +28,42 @@ Per-request knobs ride on the query string: ``?backend=`` overrides the
 request's backend field (resolved against the registry — unknown names
 404), ``?timeout=`` imposes a wall-clock budget (overrun -> 408),
 ``?jobs=`` asks for a different engine width than the pooled sessions
-carry (served by a throwaway session against the same shared cache), and
+carry (served by a throwaway session against the same shared cache),
 ``?preset=`` applies a named :class:`~repro.sat.solver.SolverConfig`
 preset to requests that carry no explicit ``solver_config`` (unknown
-names 400; the server may also be started with a default preset, which
-an explicit query value overrides).
+names 400), and ``?stream=1`` turns a synchronous synthesize/batch into
+a chunked NDJSON response of progress events followed by the final
+payload.
 """
 
 from __future__ import annotations
 
-import json
-import shutil
-import tempfile
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
-from urllib.parse import parse_qs, urlsplit
 
-from repro.api.backends import resolve_solver_config
-from repro.api.schema import BatchRequest, SynthesisRequest
-from repro.api.session import Session
 from repro.errors import ValidationError
 from repro.sat.solver import SolverConfig
-from repro.server.jobs import JobManager
-from repro.server.pool import SessionPool
-from repro.server.protocol import (
-    backends_wire,
-    cache_stats_wire,
-    error_wire,
-    events_wire,
-    health_wire,
-    job_wire,
-    status_for_exception,
-    validated_preset,
+from repro.server.core import (
+    MAX_BODY_BYTES,
+    ServiceCore,
+    WireResponse,
+    WireStream,
 )
 
 __all__ = ["SynthesisServer", "make_server"]
 
-#: Long-poll ceiling: a single /v1/events call blocks at most this long.
-MAX_POLL_SECONDS = 60.0
-DEFAULT_POLL_SECONDS = 25.0
-#: Request-body ceiling.  The largest legitimate payload — a batch of
-#: 24-variable truth-table targets — is well under this; anything bigger
-#: is a mistake or abuse and is rejected before buffering.
-MAX_BODY_BYTES = 16 * 1024 * 1024
-
 
 class _Handler(BaseHTTPRequestHandler):
-    """Route one HTTP exchange; all state lives on ``self.server``."""
+    """Parse one HTTP exchange and write what the core returns."""
 
     protocol_version = "HTTP/1.1"
+    # Responses go out as header + body writes; with Nagle on, the
+    # second write of a keep-alive exchange can sit behind the peer's
+    # delayed ACK for ~40ms — dwarfing the actual request cost.
+    disable_nagle_algorithm = True
     server: "SynthesisServer"
 
     # ------------------------------------------------------------- plumbing
@@ -82,26 +71,49 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload) -> None:
-        """Write ``payload`` (a wire dict, or pre-canonical bytes)."""
+    def _send_json(self, status: int, body: bytes, content_type: str) -> None:
+        """Write one finished body with Content-Length framing."""
         self._settle_request_body()
-        if isinstance(payload, (bytes, bytearray)):
-            body = bytes(payload)
-        else:
-            body = json.dumps(
-                payload, sort_keys=True, separators=(",", ":")
-            ).encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_stream(self, stream: WireStream) -> None:
+        """Write a lazy NDJSON stream with chunked framing.
+
+        Each line the core yields becomes one chunk (line + newline);
+        the terminating zero-length chunk closes the stream.  A client
+        that disconnects mid-stream just stops the writes — the helper
+        thread driving the synthesis finishes on its own and the session
+        rejoins the pool regardless.
+        """
+        self._settle_request_body()
+        self.send_response(stream.status)
+        self.send_header("Content-Type", stream.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for line in stream.lines:
+                payload = line + b"\n"
+                self.wfile.write(b"%x\r\n%s\r\n" % (len(payload), payload))
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _write(self, result: "WireResponse | WireStream") -> None:
+        if isinstance(result, WireStream):
+            self._send_stream(result)
+        else:
+            self._send_json(result.status, result.body, result.content_type)
+
     def _settle_request_body(self) -> None:
         """Leave the connection at a request boundary before responding.
 
-        A POST rejected before its body was read (404 route, 405 verb,
-        bad header) would otherwise desync HTTP/1.1 keep-alive: the next
+        A POST rejected before its body was read (bad header, PUT with a
+        payload) would otherwise desync HTTP/1.1 keep-alive: the next
         request would be parsed out of the middle of the stale body.
         Reasonable bodies are drained and discarded; unreasonable or
         unparseable lengths close the connection instead.
@@ -123,12 +135,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
 
     def _send_error_wire(self, exc: BaseException) -> None:
-        # Routing errors carry their own status; everything else maps
-        # through the shared exception table in server.protocol.
-        status = getattr(exc, "http_status", None) or status_for_exception(exc)
-        self._send_json(status, error_wire(status, exc))
+        response = self.server.core.error_response(exc)
+        self._send_json(response.status, response.body, response.content_type)
 
-    def _read_body(self) -> str:
+    def _read_body(self) -> bytes:
         self._body_consumed = True
         raw = self.headers.get("Content-Length") or "0"
         try:
@@ -141,154 +151,29 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValidationError(
                 f"Content-Length {length} outside 0..{MAX_BODY_BYTES}"
             )
-        try:
-            return self.rfile.read(length).decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise ValidationError(f"request body is not UTF-8: {exc}")
-
-    def _query(self) -> dict[str, str]:
-        raw = parse_qs(urlsplit(self.path).query)
-        return {k: v[-1] for k, v in raw.items()}
-
-    def _route(self) -> str:
-        return urlsplit(self.path).path.rstrip("/") or "/"
-
-    @staticmethod
-    def _float_param(query: dict, key: str) -> Optional[float]:
-        if key not in query:
-            return None
-        try:
-            value = float(query[key])
-        except ValueError:
-            raise ValidationError(f"{key} must be a number, got {query[key]!r}")
-        if value <= 0:
-            raise ValidationError(f"{key} must be positive, got {value!r}")
-        return value
-
-    @staticmethod
-    def _int_param(query: dict, key: str) -> Optional[int]:
-        if key not in query:
-            return None
-        try:
-            return int(query[key])
-        except ValueError:
-            raise ValidationError(
-                f"{key} must be an integer, got {query[key]!r}"
-            )
+        return self.rfile.read(length)
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        try:
-            route = self._route()
-            if route == "/healthz":
-                return self._send_json(200, self.server.health())
-            if route == "/v1/backends":
-                return self._send_json(
-                    200, backends_wire(self.server.registry_names())
-                )
-            if route == "/v1/cache/stats":
-                return self._send_json(200, self.server.cache_stats())
-            if route.startswith("/v1/jobs/"):
-                return self._get_job(route.removeprefix("/v1/jobs/"))
-            if route.startswith("/v1/events/"):
-                return self._get_events(route.removeprefix("/v1/events/"))
-            if route in ("/v1/synthesize", "/v1/batch"):
-                raise _MethodNotAllowed(f"method not allowed for {route}")
-            raise _NotFound(f"no such path: {route}")
-        # janalyze: allow-broad-except top-level HTTP handler — every
-        # failure must become a structured error envelope (500 for bugs)
-        except Exception as exc:
-            self._send_error_wire(exc)
+        self._write(self.server.core.handle("GET", self.path))
 
     def do_POST(self) -> None:  # noqa: N802
         self._body_consumed = not self.headers.get("Content-Length")
         try:
-            route = self._route()
-            if route == "/v1/synthesize":
-                return self._post_synthesize()
-            if route == "/v1/batch":
-                return self._post_batch()
-            if route in (
-                "/healthz",
-                "/v1/backends",
-                "/v1/cache/stats",
-            ) or route.startswith(("/v1/jobs/", "/v1/events/")):
-                raise _MethodNotAllowed(f"method not allowed for {route}")
-            raise _NotFound(f"no such path: {route}")
-        # janalyze: allow-broad-except top-level HTTP handler — every
-        # failure must become a structured error envelope (500 for bugs)
-        except Exception as exc:
-            self._send_error_wire(exc)
+            body = self._read_body()
+        except ValidationError as exc:
+            return self._send_error_wire(exc)
+        self._write(self.server.core.handle("POST", self.path, body))
 
     def do_PUT(self) -> None:  # noqa: N802
         self._body_consumed = not self.headers.get("Content-Length")
-        self._send_error_wire(
-            _MethodNotAllowed(f"method not allowed for {self._route()}")
-        )
+        self._write(self.server.core.handle("PUT", self.path))
 
     do_DELETE = do_PUT
 
-    # ---------------------------------------------------------- POST bodies
-    def _post_synthesize(self) -> None:
-        query = self._query()
-        request = SynthesisRequest.from_json(self._read_body())
-        if "backend" in query:
-            request = request.with_backend(query["backend"])
-        timeout = self._float_param(query, "timeout")
-        jobs = self._int_param(query, "jobs")
-        preset = (
-            validated_preset(query["preset"]) if "preset" in query else None
-        )
-        response = self.server.run_synthesize(request, timeout, jobs, preset)
-        self._send_json(200, response.to_json().encode("utf-8"))
-
-    def _post_batch(self) -> None:
-        query = self._query()
-        batch = BatchRequest.from_json(self._read_body())
-        if query.get("mode") == "async":
-            job = self.server.jobs.submit(batch)
-            return self._send_json(202, job_wire(job))
-        timeout = self._float_param(query, "timeout")
-        response = self.server.run_batch(batch, timeout)
-        self._send_json(200, response.to_json().encode("utf-8"))
-
-    # ----------------------------------------------------------- job routes
-    def _get_job(self, job_id: str) -> None:
-        job = self.server.jobs.get(job_id)
-        if job is None:
-            raise _NotFound(f"no such job: {job_id!r}")
-        self._send_json(200, job_wire(job))
-
-    def _get_events(self, job_id: str) -> None:
-        job = self.server.jobs.get(job_id)
-        if job is None:
-            raise _NotFound(f"no such job: {job_id!r}")
-        query = self._query()
-        cursor = self._int_param(query, "cursor") or 0
-        timeout = self._float_param(query, "timeout")
-        timeout = (
-            DEFAULT_POLL_SECONDS
-            if timeout is None
-            else min(timeout, MAX_POLL_SECONDS)
-        )
-        events, cursor, done = job.wait_events(cursor, timeout)
-        self._send_json(200, events_wire(job.job_id, events, cursor, done))
-
-
-class _NotFound(ValidationError):
-    """Route/resource miss."""
-
-    http_status = 404
-
-
-class _MethodNotAllowed(ValidationError):
-    """Known route, wrong verb."""
-
-    http_status = 405
-
 
 class SynthesisServer(ThreadingHTTPServer):
-    """The ``janus serve`` HTTP service.
+    """The ``janus serve`` HTTP service (threaded front-end).
 
     Construction binds the socket; call :meth:`serve_forever` (or run it
     on a thread, as the tests and benchmarks do) to start answering.
@@ -298,6 +183,10 @@ class SynthesisServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    # The stdlib default listen backlog of 5 overflows the moment ~16
+    # clients connect at once: dropped SYNs come back 1s later (the
+    # kernel's retransmit) or as resets.  Match the asyncio front-end.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -313,34 +202,28 @@ class SynthesisServer(ThreadingHTTPServer):
         dispatch: Optional[str] = None,
     ) -> None:
         self.verbose = verbose
-        # The server-wide default solver tuning (a preset name or a full
-        # SolverConfig); validated/resolved up front so a typo fails at
-        # startup, not on the first request.
-        if isinstance(preset, str):
-            validated_preset(preset)
-        self.default_config = (
-            resolve_solver_config(preset) if preset is not None else None
-        )
-        self._owned_cache = cache is None
-        self.cache_dir = (
-            tempfile.mkdtemp(prefix="janus-serve-") if cache is None else cache
-        )
-        self.pool = SessionPool(
-            size=pool, jobs=jobs, cache=self.cache_dir, npn=npn,
+        self.core = ServiceCore(
+            jobs=jobs,
+            pool=pool,
+            cache=cache,
+            npn=npn,
+            keep_jobs=keep_jobs,
+            verbose=verbose,
+            preset=preset,
             dispatch=dispatch,
         )
-        self.jobs = JobManager(self.pool, keep=keep_jobs)
         self.started = time.monotonic()
+        self.connections_accepted = 0
         self._closed = False
         self._serving = False
+        self._open_connections: set = set()
+        self._conn_lock = threading.Lock()
         try:
             super().__init__((host, port), _Handler)
         except OSError:
             # Bind failures (port in use, bad address) must not leak the
             # resources built above — especially the owned temp dir.
-            self.pool.close()
-            if self._owned_cache:
-                shutil.rmtree(self.cache_dir, ignore_errors=True)
+            self.core.close()
             raise
 
     # -------------------------------------------------------------- queries
@@ -348,103 +231,54 @@ class SynthesisServer(ThreadingHTTPServer):
     def address(self) -> tuple[str, int]:
         return self.server_address[0], self.server_address[1]
 
-    def registry_names(self) -> list[str]:
-        from repro.api.backends import backend_names
+    # Back-compat delegation: the pre-core server carried these directly,
+    # and the tests/benchmarks/CLI still read them.
+    @property
+    def pool(self):
+        return self.core.pool
 
-        return backend_names()
+    @property
+    def jobs(self):
+        return self.core.jobs
+
+    @property
+    def cache_dir(self) -> str:
+        return self.core.cache_dir
+
+    @property
+    def default_config(self):
+        return self.core.default_config
+
+    def registry_names(self) -> list[str]:
+        return self.core.registry_names()
 
     def health(self) -> dict:
-        from repro import __version__
-
-        return health_wire(
-            __version__, time.monotonic() - self.started, len(self.jobs)
-        )
+        return self.core.health()
 
     def cache_stats(self) -> dict:
-        from repro.engine.cache import ResultCache
-        from repro.engine.gc import cache_stats
-        from repro.errors import CacheError
+        return self.core.cache_stats()
 
-        disk = None
-        try:
-            st = cache_stats(ResultCache(self.cache_dir))
-            disk = {
-                "entries": st.entries,
-                "entry_bytes": st.entry_bytes,
-                "temp_files": st.temp_files,
-                "temp_bytes": st.temp_bytes,
-            }
-        except (CacheError, OSError):
-            pass  # an unreadable cache dir degrades to engine stats only
-        return cache_stats_wire(
-            self.pool.stats(), disk, self.cache_dir, self.pool
-        )
+    def run_synthesize(self, *args, **kwargs):
+        return self.core.run_synthesize(*args, **kwargs)
 
-    # ------------------------------------------------------------ execution
-    def _apply_preset(
-        self, request: SynthesisRequest, preset: Optional[str]
-    ) -> SynthesisRequest:
-        """Rewrite the request under the effective solver preset.
-
-        Precedence: an explicit ``solver_config`` in the request body
-        always wins; then the ``?preset=`` query value; then the
-        server-wide default config; then nothing.
-        """
-        import dataclasses
-
-        config = (
-            SolverConfig.preset(preset)
-            if preset is not None
-            else self.default_config
-        )
-        if config is None or request.options.solver_config is not None:
-            return request
-        return dataclasses.replace(
-            request,
-            options=dataclasses.replace(
-                request.options, solver_config=config
-            ),
-        )
-
-    def run_synthesize(
-        self,
-        request: SynthesisRequest,
-        timeout: Optional[float] = None,
-        jobs: Optional[int] = None,
-        preset: Optional[str] = None,
-    ):
-        request = self._apply_preset(request, preset)
-        if jobs is not None:
-            # Same normalization the pool applied to its own width, so
-            # ?jobs=0 ("all CPUs") or a clamped negative matching the
-            # pool is served warm instead of paying one-off engine setup.
-            from repro.engine.parallel import default_jobs
-
-            jobs = default_jobs() if jobs == 0 else max(1, jobs)
-        if jobs is not None and jobs != self.pool.jobs:
-            # A one-off engine width: a throwaway session over the same
-            # shared cache, so the request still sees (and feeds) the
-            # warm result layers.  Its counters are folded into the
-            # pool's retired total so /v1/cache/stats stays truthful.
-            def run_oneoff(_unused: Session):
-                with Session(
-                    jobs=jobs, cache=self.cache_dir, npn=self.pool.npn,
-                    dispatch=self.pool.dispatch,
-                ) as session:
-                    try:
-                        return session.synthesize(request)
-                    finally:
-                        self.pool.absorb(session)
-
-            return self.pool.run(run_oneoff, timeout)
-        return self.pool.run(
-            lambda session: session.synthesize(request), timeout
-        )
-
-    def run_batch(self, batch: BatchRequest, timeout: Optional[float] = None):
-        return self.pool.run(lambda session: session.run_batch(batch), timeout)
+    def run_batch(self, *args, **kwargs):
+        return self.core.run_batch(*args, **kwargs)
 
     # ------------------------------------------------------------ lifecycle
+    def process_request(self, request, client_address) -> None:
+        # One accepted TCP connection per call, counted on the single
+        # accept-loop thread (keep-alive requests reuse one connection —
+        # the client keep-alive regression test reads this).
+        self.connections_accepted += 1
+        with self._conn_lock:
+            self._open_connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._conn_lock:
+            self._open_connections.discard(request)
+        super().shutdown_request(request)
+
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         self._serving = True
         super().serve_forever(poll_interval)
@@ -462,9 +296,17 @@ class SynthesisServer(ThreadingHTTPServer):
         if self._serving:
             self.shutdown()
         self.server_close()
-        self.pool.close()
-        if self._owned_cache:
-            shutil.rmtree(self.cache_dir, ignore_errors=True)
+        # Open keep-alive connections have handler threads parked on
+        # readline(); shut the sockets so they see EOF and exit (the
+        # asyncio front-end cancels its handler tasks the same way).
+        with self._conn_lock:
+            lingering = list(self._open_connections)
+        for request in lingering:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already gone
+        self.core.close()
 
     def serve_background(self) -> threading.Thread:
         """Start :meth:`serve_forever` on a daemon thread (tests/bench)."""
@@ -495,10 +337,18 @@ def make_server(
     verbose: bool = False,
     preset: "str | SolverConfig | None" = None,
     dispatch: Optional[str] = None,
-) -> SynthesisServer:
-    """Build (and bind) a :class:`SynthesisServer`; ``port=0`` picks a
-    free ephemeral port — read it back from ``server.address``."""
-    return SynthesisServer(
+    frontend: str = "threaded",
+):
+    """Build (and bind) a synthesis server; ``port=0`` picks a free
+    ephemeral port — read it back from ``server.address``.
+
+    ``frontend`` selects the transport: ``"threaded"`` (this module's
+    thread-per-connection server, the default) or ``"async"`` (the
+    asyncio front-end in :mod:`repro.server.async_app`).  Both speak the
+    identical wire schema — the parity matrix in ``tests/server``
+    asserts byte-for-byte agreement.
+    """
+    kwargs = dict(
         host=host,
         port=port,
         jobs=jobs,
@@ -508,4 +358,13 @@ def make_server(
         verbose=verbose,
         preset=preset,
         dispatch=dispatch,
+    )
+    if frontend == "threaded":
+        return SynthesisServer(**kwargs)
+    if frontend == "async":
+        from repro.server.async_app import AsyncSynthesisServer
+
+        return AsyncSynthesisServer(**kwargs)
+    raise ValueError(
+        f"unknown frontend {frontend!r}; expected 'threaded' or 'async'"
     )

@@ -1,0 +1,459 @@
+"""The asyncio HTTP front-end: one event loop, no thread per connection.
+
+PR 5's threaded server spends a thread (stack, scheduler slot, GIL
+wake-ups) on every open connection, which caps it near the ``/healthz``
+HTTP floor under fan-in.  :class:`AsyncSynthesisServer` serves the same
+wire schema from a single event loop: connection handling, HTTP parsing
+and response writing are all non-blocking, and only the actual work —
+the :class:`~repro.server.core.ServiceCore` calls that check sessions
+out of the pool, long-poll job events, or drive a synthesis — is
+dispatched to a bounded thread executor, so the loop never blocks on a
+SAT call.  Thousands of idle keep-alive connections cost an open socket
+each, not a thread each.
+
+Byte parity with the threaded front-end is structural: both delegate
+every exchange to the same ``ServiceCore`` and write the returned bytes
+verbatim (asserted by the parity matrix in ``tests/server``).  The
+transport speaks HTTP/1.1 with keep-alive, Content-Length framing for
+finished responses and chunked framing for ``?stream=1`` NDJSON event
+streams.
+
+For multi-core scale-out, :mod:`repro.server.multiproc` runs N of these
+servers as forked worker processes over one listening port
+(``SO_REUSEPORT``) and one shared on-disk cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.sat.solver import SolverConfig
+from repro.server.core import (
+    MAX_BODY_BYTES,
+    ServiceCore,
+    WireResponse,
+    WireStream,
+)
+
+__all__ = ["AsyncSynthesisServer", "make_async_server"]
+
+#: Per-line ceiling for request lines and headers (far above any
+#: legitimate request target or header this API uses).
+_MAX_LINE_BYTES = 64 * 1024
+_MAX_HEADER_COUNT = 100
+
+
+def _status_line(status: int) -> bytes:
+    try:
+        phrase = HTTPStatus(status).phrase
+    except ValueError:
+        phrase = ""
+    return f"HTTP/1.1 {status} {phrase}\r\n".encode("latin-1")
+
+
+class _BadRequestLine(Exception):
+    """Unparseable request framing: answer nothing, drop the connection."""
+
+
+class AsyncSynthesisServer:
+    """The asyncio ``janus serve`` front-end.
+
+    The constructor binds the socket (or adopts ``sock``, an
+    already-listening socket — the multi-process single-socket-inherit
+    fallback) so :attr:`address` is valid immediately; call
+    :meth:`serve_forever` on the current thread or
+    :meth:`serve_background` for tests and benchmarks.  The API surface
+    (context manager, ``address``, ``pool``, ``cache_dir``, ``close``)
+    mirrors :class:`~repro.server.app.SynthesisServer` so the two
+    front-ends are drop-in interchangeable.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        pool: int = 2,
+        cache: Optional[str] = None,
+        npn: bool = False,
+        keep_jobs: int = 128,
+        verbose: bool = False,
+        preset: "str | SolverConfig | None" = None,
+        dispatch: Optional[str] = None,
+        sock: Optional[socket.socket] = None,
+        reuse_port: bool = False,
+        executor_threads: Optional[int] = None,
+    ) -> None:
+        self.verbose = verbose
+        self.core = ServiceCore(
+            jobs=jobs,
+            pool=pool,
+            cache=cache,
+            npn=npn,
+            keep_jobs=keep_jobs,
+            verbose=verbose,
+            preset=preset,
+            dispatch=dispatch,
+        )
+        self.started = time.monotonic()
+        self.connections_accepted = 0
+        self._closed = False
+        self._serving = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_ready = threading.Event()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        # Sized for fan-in: every in-flight blocking call (a synthesis
+        # waiting on the session pool, an event long-poll) holds one
+        # executor thread, and long-polls can legitimately sit for tens
+        # of seconds — so the ceiling is generous, not tight.
+        workers = (
+            executor_threads
+            if executor_threads is not None
+            else max(64, self.core.pool.size * 8)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="janus-async"
+        )
+        if sock is not None:
+            self._sock = sock
+            self._owns_sock = False
+        else:
+            try:
+                self._sock = socket.create_server(
+                    (host, port), backlog=128, reuse_port=reuse_port
+                )
+            except OSError:
+                # Bind failures must not leak the resources built above —
+                # especially the owned temp cache dir.
+                self._executor.shutdown(wait=False)
+                self.core.close()
+                raise
+            self._owns_sock = True
+
+    # -------------------------------------------------------------- queries
+    @property
+    def address(self) -> tuple[str, int]:
+        name = self._sock.getsockname()
+        return name[0], name[1]
+
+    @property
+    def pool(self):
+        return self.core.pool
+
+    @property
+    def jobs(self):
+        return self.core.jobs
+
+    @property
+    def cache_dir(self) -> str:
+        return self.core.cache_dir
+
+    @property
+    def default_config(self):
+        return self.core.default_config
+
+    def registry_names(self) -> list[str]:
+        return self.core.registry_names()
+
+    def health(self) -> dict:
+        return self.core.health()
+
+    def cache_stats(self) -> dict:
+        return self.core.cache_stats()
+
+    def run_synthesize(self, *args, **kwargs):
+        return self.core.run_synthesize(*args, **kwargs)
+
+    def run_batch(self, *args, **kwargs):
+        return self.core.run_batch(*args, **kwargs)
+
+    # ------------------------------------------------------------ lifecycle
+    def serve_forever(self) -> None:
+        """Run the event loop on the calling thread until :meth:`close`."""
+        self._serving = True
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            self._loop = None
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._client_connected, sock=self._sock, limit=_MAX_LINE_BYTES
+        )
+        self._loop_ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Open keep-alive connections still have handler tasks parked
+            # on readline(); cancel them so the loop closes cleanly.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+
+    def serve_background(self) -> threading.Thread:
+        """Start :meth:`serve_forever` on a daemon thread (tests/bench).
+
+        Returns once the loop is accepting; connections made before that
+        queue on the already-listening socket, so callers may connect
+        immediately either way.
+        """
+        # Marked serving before the thread runs: a close() racing the
+        # thread start must deliver the stop event, not skip it.
+        self._serving = True
+        thread = threading.Thread(
+            target=self.serve_forever, name="janus-aserve", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+        self._loop_ready.wait(timeout=10.0)
+        return thread
+
+    def close(self) -> None:
+        """Stop serving and release every owned resource (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            # The loop may still be starting up on the background
+            # thread; wait for it so the stop event is deliverable.
+            self._loop_ready.wait(timeout=10.0)
+            loop, stop = self._loop, self._stop_event
+            if loop is not None and stop is not None:
+                try:
+                    loop.call_soon_threadsafe(stop.set)
+                except RuntimeError:
+                    pass  # loop already closed
+            if self._thread is not None and self._thread.is_alive():
+                self._thread.join(timeout=10.0)
+        if self._owns_sock or not self._serving:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._executor.shutdown(wait=False)
+        self.core.close()
+
+    def __enter__(self) -> "AsyncSynthesisServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- connection
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while await self._one_request(reader, writer):
+                pass
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            _BadRequestLine,
+            TimeoutError,
+        ):
+            pass  # client went away or sent garbage: drop the connection
+        except asyncio.CancelledError:
+            pass  # server shutdown with the connection still open
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one keep-alive exchange; False ends the connection."""
+        request_line = await reader.readline()
+        if not request_line:
+            return False  # clean EOF between requests
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequestLine(request_line[:64])
+        method, target, version = parts
+        headers = await self._read_headers(reader)
+        keep_alive = (
+            version == "HTTP/1.1"
+            and headers.get("connection", "").lower() != "close"
+        )
+
+        body: Optional[bytes] = None
+        raw_length = headers.get("content-length")
+        if raw_length is not None or method == "POST":
+            raw = raw_length or "0"
+            try:
+                length = int(raw)
+            except ValueError:
+                await self._write_response(
+                    writer,
+                    self.core.error_response(
+                        ValidationError(f"malformed Content-Length: {raw!r}")
+                    ),
+                    keep_alive=False,
+                )
+                return False  # cannot find the next request boundary
+            if length < 0 or length > MAX_BODY_BYTES:
+                await self._write_response(
+                    writer,
+                    self.core.error_response(
+                        ValidationError(
+                            f"Content-Length {length} outside "
+                            f"0..{MAX_BODY_BYTES}"
+                        )
+                    ),
+                    keep_alive=False,
+                )
+                return False
+            body = await reader.readexactly(length) if length else b""
+        if method != "POST":
+            body = None  # GET/PUT/DELETE: routing ignores any payload
+
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            self._executor, self.core.handle, method, target, body
+        )
+        if isinstance(result, WireStream):
+            await self._write_stream(writer, result, keep_alive)
+        else:
+            await self._write_response(writer, result, keep_alive)
+        return keep_alive
+
+    async def _read_headers(
+        self, reader: asyncio.StreamReader
+    ) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_COUNT):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        raise _BadRequestLine(b"too many headers")
+
+    # -------------------------------------------------------------- writing
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: WireResponse,
+        keep_alive: bool,
+    ) -> None:
+        head = _status_line(response.status) + (
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+        ).encode("latin-1")
+        if not keep_alive:
+            head += b"Connection: close\r\n"
+        writer.write(head + b"\r\n" + response.body)
+        await writer.drain()
+
+    async def _write_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        stream: WireStream,
+        keep_alive: bool,
+    ) -> None:
+        """Chunk-frame a lazy NDJSON stream without blocking the loop.
+
+        The core's generator blocks on synthesis progress, so it is
+        consumed on an executor thread that feeds an ``asyncio.Queue``;
+        the loop side writes each line as one chunk as it lands.  If the
+        client disconnects mid-stream the pump keeps draining into the
+        (garbage-collected) queue — the underlying session always
+        finishes its work and rejoins the pool.
+        """
+        head = _status_line(stream.status) + (
+            f"Content-Type: {stream.content_type}\r\n"
+            f"Transfer-Encoding: chunked\r\n"
+        ).encode("latin-1")
+        if not keep_alive:
+            head += b"Connection: close\r\n"
+        writer.write(head + b"\r\n")
+        await writer.drain()
+
+        loop = asyncio.get_running_loop()
+        lines: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+
+        def pump() -> None:
+            try:
+                for line in stream.lines:
+                    loop.call_soon_threadsafe(lines.put_nowait, line)
+            # janalyze: allow-broad-except stream pump thread — the core
+            # generator already serializes failures as its final error
+            # line; anything else here means the loop is shutting down
+            except Exception:
+                pass
+            finally:
+                try:
+                    loop.call_soon_threadsafe(lines.put_nowait, None)
+                except RuntimeError:
+                    pass  # loop closed mid-stream (server shutdown)
+
+        pumping = loop.run_in_executor(self._executor, pump)
+        try:
+            while True:
+                line = await lines.get()
+                if line is None:
+                    break
+                payload = line + b"\n"
+                writer.write(b"%x\r\n%s\r\n" % (len(payload), payload))
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            await pumping
+
+
+def make_async_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    pool: int = 2,
+    cache: Optional[str] = None,
+    npn: bool = False,
+    verbose: bool = False,
+    preset: "str | SolverConfig | None" = None,
+    dispatch: Optional[str] = None,
+    **kwargs,
+) -> AsyncSynthesisServer:
+    """Build (and bind) an :class:`AsyncSynthesisServer`; ``port=0``
+    picks a free ephemeral port — read it back from ``server.address``."""
+    return AsyncSynthesisServer(
+        host=host,
+        port=port,
+        jobs=jobs,
+        pool=pool,
+        cache=cache,
+        npn=npn,
+        verbose=verbose,
+        preset=preset,
+        dispatch=dispatch,
+        **kwargs,
+    )

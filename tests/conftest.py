@@ -10,6 +10,14 @@ from repro.boolf import Cube, Sop, TruthTable
 from repro.core import JanusOptions
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running soak/stress tests (run with -m slow on the "
+        "nightly path; brief versions run by default)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,196 @@
+"""Cross-process cache stress: many writers, one directory, no lies.
+
+``janus serve --workers N`` points every forked worker at one shared
+:class:`~repro.engine.cache.ResultCache` directory, relying on the
+temp-file + ``os.replace`` writer protocol for correctness.  These tests
+are the first to actually exercise that protocol from multiple
+*processes* (not threads): several workers hammer one cache with
+overlapping puts, gets and gc passes, and afterwards every entry must be
+whole, canonical, and ``janus cache verify``-green with no ``.tmp-*``
+litter.
+
+The worker count and iteration budget scale with
+``JANUS_CACHE_STRESS_PROCS`` / ``JANUS_CACHE_STRESS_ITERS`` for heavier
+soak runs; the defaults keep the test inside a few seconds for tier-1.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.gc import gc_cache
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="cross-process stress needs the fork start method",
+)
+
+PROCS = max(4, int(os.environ.get("JANUS_CACHE_STRESS_PROCS", "6")))
+ITERS = int(os.environ.get("JANUS_CACHE_STRESS_ITERS", "120"))
+KEYS = 32
+
+
+def _key(index: int) -> str:
+    return hashlib.sha256(f"stress-key-{index}".encode()).hexdigest()
+
+
+def _payload(index: int) -> dict:
+    # Deterministic per key: every process writes the identical payload
+    # for a given key (the cache is content-addressed), so any read must
+    # see exactly this dict or a clean miss — anything else is a tear.
+    return {
+        "result": "sat",
+        "rows": index % 7,
+        "cols": index % 5,
+        "witness": "x" * (50 + 37 * (index % 11)),
+        "conflicts": index * 13,
+    }
+
+
+def _canonical_bytes(index: int) -> bytes:
+    record = dict(_payload(index))
+    record["format"] = 1
+    return json.dumps(record, separators=(",", ":")).encode()
+
+
+def _worker(root: str, seed: int, failures) -> None:
+    """One stress process: interleaved puts, gets and gc passes."""
+    cache = ResultCache(root)
+    state = seed
+    for step in range(ITERS):
+        state = (state * 1103515245 + 12345) % (2**31)
+        index = state % KEYS
+        op = state % 16
+        try:
+            if op < 9:
+                if not cache.put(_key(index), _payload(index)):
+                    failures.put(f"put({index}) returned False at {step}")
+                    return
+            elif op < 15:
+                seen = cache.get(_key(index))
+                if seen is not None:
+                    expected = dict(_payload(index))
+                    expected["format"] = 1
+                    if seen != expected:
+                        failures.put(f"torn read for key {index}: {seen}")
+                        return
+            else:
+                # Size-bound eviction keeps shard dirs churning through
+                # empty -> pruned -> recreated, the put() race window.
+                gc_cache(cache, max_bytes=2048)
+        except Exception as exc:  # pragma: no cover - failure detail
+            failures.put(f"{type(exc).__name__} at step {step}: {exc}")
+            return
+
+
+@pytest.fixture(scope="module")
+def stressed_cache(tmp_path_factory):
+    """One shared directory after PROCS processes stressed it."""
+    root = str(tmp_path_factory.mktemp("shared-cache"))
+    ctx = multiprocessing.get_context("fork")
+    failures = ctx.Queue()
+    procs = [
+        ctx.Process(target=_worker, args=(root, 1000 + i, failures))
+        for i in range(PROCS)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+    errors = []
+    while not failures.empty():
+        errors.append(failures.get())
+    exit_codes = [proc.exitcode for proc in procs]
+    return root, errors, exit_codes
+
+
+class TestConcurrentWriters:
+    def test_no_worker_reported_a_tear_or_failed_write(self, stressed_cache):
+        root, errors, exit_codes = stressed_cache
+        assert errors == []
+        assert exit_codes == [0] * PROCS
+
+    def test_no_temp_litter_survives(self, stressed_cache):
+        root, _, _ = stressed_cache
+        cache = ResultCache(root)
+        assert list(cache.iter_temps()) == []
+
+    def test_every_surviving_entry_is_byte_canonical(self, stressed_cache):
+        # Whatever subset survived the interleaved gc passes, each file
+        # must hold exactly the canonical bytes of its key's payload —
+        # concurrent rewrites of one key may only ever collapse to the
+        # identical content, never interleave.
+        root, _, _ = stressed_cache
+        cache = ResultCache(root)
+        expected = {_key(i): _canonical_bytes(i) for i in range(KEYS)}
+        entries = list(cache.iter_entries())
+        assert entries, "stress run left an empty cache"
+        for path in entries:
+            key = path.name[: -len(".json")]
+            assert key in expected, f"foreign entry {path.name}"
+            assert path.read_bytes() == expected[key]
+
+    def test_cache_verify_stays_green(self, stressed_cache):
+        from repro.engine import verify_cache
+
+        root, _, _ = stressed_cache
+        report = verify_cache(ResultCache(root))
+        assert report.ok
+        assert report.corrupt == 0
+
+    def test_cli_cache_verify_exit_code(self, stressed_cache, capsys):
+        from repro.cli import main
+
+        root, _, _ = stressed_cache
+        assert main(["cache", "verify", root]) == 0
+        assert "0 mismatched" in capsys.readouterr().out
+
+
+class TestGcRaceHardening:
+    def test_put_retries_when_shard_dir_vanishes(self, tmp_path, monkeypatch):
+        # The gc dir-prune race: the shard directory disappears between
+        # put()'s mkdir and mkstemp.  One retry must absorb it without
+        # flipping the cache read-only.
+        import tempfile as tempfile_module
+
+        cache = ResultCache(tmp_path / "cache")
+        real_mkstemp = tempfile_module.mkstemp
+        raised = {"count": 0}
+
+        def flaky_mkstemp(*args, **kwargs):
+            if raised["count"] == 0:
+                raised["count"] += 1
+                raise FileNotFoundError(2, "No such file or directory")
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.engine.cache.tempfile.mkstemp", flaky_mkstemp
+        )
+        assert cache.put(_key(0), _payload(0)) is True
+        assert raised["count"] == 1
+        assert cache.get(_key(0)) is not None
+        assert cache._writable is True
+
+    def test_put_gives_up_after_persistent_vanishing(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path / "cache")
+
+        def always_gone(*args, **kwargs):
+            raise FileNotFoundError(2, "No such file or directory")
+
+        monkeypatch.setattr(
+            "repro.engine.cache.tempfile.mkstemp", always_gone
+        )
+        with pytest.warns(RuntimeWarning, match="kept vanishing"):
+            assert cache.put(_key(1), _payload(1)) is False
+        assert cache._writable is False
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-v"]))

@@ -1,9 +1,16 @@
 """Live-server tests: endpoint round-trips, errors, warmth, events.
 
-Every test here runs against a real in-process
-:class:`~repro.server.SynthesisServer` on an ephemeral loopback port,
-exercised through :class:`repro.client.ServiceClient` — real sockets,
-real threads, the exact bytes a deployment would serve.
+Every test here runs against a real in-process server on an ephemeral
+loopback port, exercised through :class:`repro.client.ServiceClient` —
+real sockets, real threads, the exact bytes a deployment would serve.
+
+The whole module is the **front-end parity matrix**: the ``server``
+fixture is parameterized over the threaded
+(:class:`~repro.server.SynthesisServer`) and asyncio
+(:class:`~repro.server.AsyncSynthesisServer`) transports, so every
+byte-identity, error-status, budget and event-stream assertion runs
+against both — plus :class:`TestFrontendParity`, which serves the same
+exchanges from both at once and compares the bytes directly.
 """
 
 import json
@@ -21,6 +28,7 @@ from repro.client import ServerError, ServiceClient
 from repro.server import make_server
 
 EXPRESSIONS = ["ab + a'b'c", "cd + c'd' + abe", "ab + cd"]
+FRONTENDS = ["threaded", "async"]
 
 
 def _request(expression: str, backend: str = "janus") -> SynthesisRequest:
@@ -50,9 +58,25 @@ def strip_volatile(wire: dict) -> dict:
     return wire
 
 
-@pytest.fixture(scope="module")
-def server():
-    with make_server(port=0, pool=2, jobs=1) as srv:
+def strip_volatile_line(raw: bytes) -> dict:
+    """Normalize one NDJSON stream line (event or final payload)."""
+    payload = json.loads(raw)
+    if "event" in payload:
+        if "wall_time" in payload:
+            payload["wall_time"] = 0.0
+        return payload
+    return strip_volatile(payload)
+
+
+@pytest.fixture(params=FRONTENDS)
+def frontend(request):
+    """For tests that build their own (short-lived) servers."""
+    return request.param
+
+
+@pytest.fixture(scope="module", params=FRONTENDS)
+def server(request):
+    with make_server(port=0, pool=2, jobs=1, frontend=request.param) as srv:
         srv.serve_background()
         yield srv
 
@@ -396,30 +420,224 @@ class TestPerRequestKnobs:
         assert after["solver_calls"] == before["solver_calls"]
 
 
+class TestSyncStreaming:
+    def test_stream_yields_events_then_final_response(self, client):
+        request = _request("a'b'c + abc")
+        lines = list(client.stream_synthesize(request))
+        assert len(lines) >= 2
+        events, final = lines[:-1], lines[-1]
+        assert all("event" in e for e in events)
+        assert {e["event"] for e in events} >= {
+            "synthesis_started",
+            "synthesis_finished",
+        }
+        assert final["kind"] == "synthesis_response"
+        # The streamed final payload is the exact non-streamed response.
+        plain = client.synthesize(request)
+        assert strip_volatile(final) == strip_volatile(
+            json.loads(plain.to_json())
+        )
+
+    def test_stream_batch_final_line_is_batch_response(self, client):
+        batch = BatchRequest(
+            requests=tuple(_request(e) for e in EXPRESSIONS[:2])
+        )
+        lines = list(
+            client.request_stream(
+                "POST", "/v1/batch", batch.to_json(), {"stream": 1}
+            )
+        )
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[-1]["kind"] == "batch_response"
+        starts = [p for p in payloads if p.get("event") == "synthesis_started"]
+        assert len(starts) == 2
+
+    def test_stream_failure_is_a_trailing_error_envelope(self, client):
+        # The status line goes out before the outcome is known, so a
+        # failing request streams as 200 + a final error line (which the
+        # client surfaces as ServerError).
+        with pytest.raises(ServerError) as err:
+            list(
+                client.stream_synthesize(
+                    _request(EXPRESSIONS[0], backend="nope")
+                )
+            )
+        assert err.value.status == 404
+        assert err.value.payload["type"] == "UnknownBackendError"
+
+    def test_stream_rejects_invalid_flag(self, client):
+        status, _ = client.request_raw(
+            "POST",
+            "/v1/synthesize",
+            _request(EXPRESSIONS[0]).to_json(),
+            params={"stream": "maybe"},
+        )
+        assert status == 400
+
+    def test_malformed_body_fails_before_streaming_starts(self, client):
+        # Validation errors precede the stream: plain 400 envelope, not
+        # a 200 chunked response with a trailing error.
+        status, raw = client.request_raw(
+            "POST", "/v1/synthesize", "not json", params={"stream": 1}
+        )
+        assert status == 400
+        assert json.loads(raw)["kind"] == "error"
+
+
+class TestClientKeepAlive:
+    def test_hundred_requests_reuse_one_connection(self, server):
+        before = server.connections_accepted
+        with ServiceClient(*server.address) as fresh:
+            for _ in range(100):
+                fresh.health()
+            fresh.synthesize(_request(EXPRESSIONS[0]))
+        assert server.connections_accepted == before + 1
+
+    def test_keep_alive_off_restores_connection_per_call(self, server):
+        before = server.connections_accepted
+        client = ServiceClient(*server.address, keep_alive=False)
+        for _ in range(5):
+            client.health()
+        assert server.connections_accepted == before + 5
+
+    def test_stale_socket_reconnects_transparently(self, frontend):
+        # Restart a server on the same port between calls: the client's
+        # kept-alive socket is dead and must be replaced with one retry.
+        with make_server(port=0, pool=1, frontend=frontend) as first:
+            first.serve_background()
+            host, port = first.address
+            client = ServiceClient(host, port)
+            assert client.health()["status"] == "ok"
+        with make_server(
+            host=host, port=port, pool=1, frontend=frontend
+        ) as second:
+            second.serve_background()
+            assert client.health()["status"] == "ok"
+            assert second.connections_accepted == 1
+        client.close()
+
+    def test_threads_do_not_share_a_socket(self, server):
+        shared = ServiceClient(*server.address)
+        errors = []
+
+        def hit():
+            try:
+                for _ in range(20):
+                    assert shared.health()["status"] == "ok"
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestFrontendParity:
+    """Both front-ends serving the same exchanges, bytes compared."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        cache = str(tmp_path_factory.mktemp("parity-cache"))
+        with make_server(
+            port=0, pool=2, jobs=1, cache=cache, frontend="threaded"
+        ) as threaded:
+            threaded.serve_background()
+            with make_server(
+                port=0, pool=2, jobs=1, cache=cache, frontend="async"
+            ) as asynced:
+                asynced.serve_background()
+                yield (
+                    ServiceClient(*threaded.address),
+                    ServiceClient(*asynced.address),
+                )
+
+    def test_synthesize_bytes_agree(self, pair):
+        a, b = pair
+        body = _request(EXPRESSIONS[0]).to_json()
+        status_a, raw_a = a.request_raw("POST", "/v1/synthesize", body)
+        status_b, raw_b = b.request_raw("POST", "/v1/synthesize", body)
+        assert (status_a, status_b) == (200, 200)
+        assert strip_volatile(json.loads(raw_a)) == strip_volatile(
+            json.loads(raw_b)
+        )
+
+    def test_error_envelopes_agree_byte_for_byte(self, pair):
+        a, b = pair
+        # Error envelopes carry no volatile fields: exact byte equality.
+        exchanges = [
+            ("POST", "/v1/synthesize", "not json", None),
+            ("POST", "/v1/synthesize",
+             _request(EXPRESSIONS[0], backend="nope").to_json(), None),
+            ("GET", "/v2/nope", None, None),
+            ("PUT", "/v1/synthesize", None, None),
+            ("GET", "/v1/jobs/job-missing", None, None),
+            ("POST", "/v1/synthesize",
+             _request(EXPRESSIONS[0]).to_json(), {"timeout": "soon"}),
+        ]
+        for method, path, body, params in exchanges:
+            status_a, raw_a = a.request_raw(method, path, body, params)
+            status_b, raw_b = b.request_raw(method, path, body, params)
+            assert status_a == status_b, (method, path)
+            assert raw_a == raw_b, (method, path)
+
+    def test_info_endpoints_agree(self, pair):
+        a, b = pair
+        assert a.backends() == b.backends()
+        health_a, health_b = a.health(), b.health()
+        for payload in (health_a, health_b):
+            payload.pop("uptime")
+        assert health_a == health_b
+
+    def test_event_streams_agree_line_for_line(self, pair):
+        a, b = pair
+        # The servers share one cache dir; warm the entry first so both
+        # streams take the identical (cached) event path — otherwise the
+        # first would emit the cold-solve events and the second not.
+        a.synthesize(_request("ab'c + a'bc"))
+        body = _request("ab'c + a'bc").to_json()
+        lines_a = list(
+            a.request_stream(
+                "POST", "/v1/synthesize", body, {"stream": 1}
+            )
+        )
+        lines_b = list(
+            b.request_stream(
+                "POST", "/v1/synthesize", body, {"stream": 1}
+            )
+        )
+        assert len(lines_a) == len(lines_b)
+        for raw_a, raw_b in zip(lines_a, lines_b):
+            assert strip_volatile_line(raw_a) == strip_volatile_line(raw_b)
+
+
 class TestServerLifecycle:
-    def test_bind_failure_cleans_up_owned_resources(self):
+    def test_bind_failure_cleans_up_owned_resources(self, frontend):
         import glob
         import os
         import tempfile
 
         pattern = os.path.join(tempfile.gettempdir(), "janus-serve-*")
-        with make_server(port=0, pool=1) as first:
+        with make_server(port=0, pool=1, frontend=frontend) as first:
             taken = first.address[1]
             before = set(glob.glob(pattern))
             # Binding the occupied port must fail without leaking the
             # second server's owned temp cache dir.
             try:
-                make_server(port=taken, pool=1).close()
+                make_server(port=taken, pool=1, frontend=frontend).close()
             except OSError:
                 pass
             else:  # pragma: no cover - SO_REUSEADDR platforms
                 pytest.skip("platform allowed double bind")
             assert set(glob.glob(pattern)) == before
             assert os.path.isdir(first.cache_dir)  # survivor untouched
-    def test_owned_cache_dir_is_removed_on_close(self):
+
+    def test_owned_cache_dir_is_removed_on_close(self, frontend):
         import os
 
-        with make_server(port=0, pool=1) as srv:
+        with make_server(port=0, pool=1, frontend=frontend) as srv:
             srv.serve_background()
             cache_dir = srv.cache_dir
             client = ServiceClient(*srv.address)
@@ -427,15 +645,19 @@ class TestServerLifecycle:
             assert os.path.isdir(cache_dir)
         assert not os.path.exists(cache_dir)
 
-    def test_explicit_cache_dir_is_kept_and_shared(self, tmp_path):
+    def test_explicit_cache_dir_is_kept_and_shared(self, tmp_path, frontend):
         cache = tmp_path / "served-cache"
         request = _request(EXPRESSIONS[0])
-        with make_server(port=0, pool=1, cache=str(cache)) as srv:
+        with make_server(
+            port=0, pool=1, cache=str(cache), frontend=frontend
+        ) as srv:
             srv.serve_background()
             ServiceClient(*srv.address).synthesize(request)
         assert cache.is_dir()
         # A second server over the same directory starts warm.
-        with make_server(port=0, pool=1, cache=str(cache)) as srv:
+        with make_server(
+            port=0, pool=1, cache=str(cache), frontend=frontend
+        ) as srv:
             srv.serve_background()
             client = ServiceClient(*srv.address)
             client.synthesize(request)

@@ -15,8 +15,8 @@ checks the ad-hoc script never had:
    ``event_to_wire`` and break ``event_from_wire`` round-trips).
 3. **Error-envelope statuses** — every HTTP status produced by
    ``server/protocol.py`` (``status_for_exception`` returns) and
-   ``server/app.py`` (``http_status`` assignments) must appear in
-   ``docs/server.md``.
+   ``server/core.py``/``server/app.py`` (``http_status`` assignments)
+   must appear in ``docs/server.md``.
 
 All sources are parsed with :mod:`ast` — never imported — so the check
 needs no PYTHONPATH and cannot be fooled by import-time side effects.
@@ -39,6 +39,7 @@ EVENTS = "src/repro/engine/events.py"
 PARALLEL = "src/repro/engine/parallel.py"
 PROTOCOL = "src/repro/server/protocol.py"
 APP = "src/repro/server/app.py"
+CORE = "src/repro/server/core.py"
 WIRE_DOC = "docs/wire-schema.md"
 SERVER_DOC = "docs/server.md"
 
@@ -307,7 +308,7 @@ class WireSchemaChecker(Checker):
     # -------------------------------------------------------- error statuses
     def _check_statuses(self, project: Project) -> list[Finding]:
         statuses: set[int] = set()
-        for rel in (PROTOCOL, APP):
+        for rel in (PROTOCOL, APP, CORE):
             if project.exists(rel):
                 statuses |= _status_literals(project.source(rel).tree)
         if not statuses or not project.exists(SERVER_DOC):
